@@ -1,0 +1,98 @@
+"""Ablation — contribution of the GPI + SCM phases and estimator resolution.
+
+Not a paper figure: this benchmark isolates the design choices DESIGN.md calls
+out.
+
+* **Phase ablation**: S3CA with only the ID phase versus the full ID+GPI+SCM
+  pipeline.  The full pipeline should never do worse on the redemption rate
+  (the SCM phase only accepts maneuvers that improve it).
+* **Estimator resolution**: the redemption rate reported by S3CA as the number
+  of Monte-Carlo worlds grows.  The value should stabilise, confirming the
+  sample count used by the other benchmarks is in the flat region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.s3ca import S3CA
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.datasets import build_scenario
+from repro.experiments.reporting import format_table
+
+ABLATION_SCALE = 0.12
+SAMPLE_GRID = [20, 60, 120]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_phases(benchmark, report):
+    scenario = build_scenario("facebook", scale=ABLATION_SCALE, seed=BENCH_SEED)
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=60, seed=BENCH_SEED)
+
+    def run():
+        rows = []
+        for label, enable_gpi, enable_scm in (
+            ("ID only", False, False),
+            ("ID+GPI+SCM", True, True),
+        ):
+            result = S3CA(
+                scenario, estimator=estimator, candidate_limit=6,
+                max_pivot_candidates=15, max_paths_per_seed=40,
+                enable_gpi=enable_gpi, enable_scm=enable_scm,
+            ).solve()
+            rows.append(
+                {
+                    "variant": label,
+                    "redemption_rate": result.redemption_rate,
+                    "expected_benefit": result.expected_benefit,
+                    "total_cost": result.total_cost,
+                    "num_paths": result.num_paths,
+                    "num_maneuvers": result.num_maneuvers,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(rows, title="Ablation — ID-only vs full S3CA pipeline")
+    report("ablation_phases", text)
+
+    id_only, full = rows
+    assert full["redemption_rate"] >= id_only["redemption_rate"] - 1e-9
+    assert full["total_cost"] <= scenario.budget_limit + 1e-6
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sample_count(benchmark, report):
+    scenario = build_scenario("facebook", scale=ABLATION_SCALE, seed=BENCH_SEED)
+
+    def run():
+        rows = []
+        for samples in SAMPLE_GRID:
+            estimator = MonteCarloEstimator(
+                scenario.graph, num_samples=samples, seed=BENCH_SEED
+            )
+            result = S3CA(
+                scenario, estimator=estimator, candidate_limit=6,
+                max_pivot_candidates=15, max_paths_per_seed=40,
+            ).solve()
+            rows.append(
+                {
+                    "num_samples": samples,
+                    "redemption_rate": result.redemption_rate,
+                    "expected_benefit": result.expected_benefit,
+                    "seconds": result.total_seconds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title="Ablation — S3CA result vs Monte-Carlo sample count"
+    )
+    report("ablation_samples", text)
+
+    rates = [row["redemption_rate"] for row in rows]
+    assert all(rate > 0 for rate in rates)
+    # The estimate stabilises: the two largest sample counts agree within 50%.
+    assert abs(rates[-1] - rates[-2]) <= 0.5 * max(rates[-1], rates[-2])

@@ -1,0 +1,88 @@
+"""Fig. 6 — investment efficiency.
+
+Regenerates the three panels of Fig. 6 at benchmark scale:
+
+* (a)/(b): redemption rate and total expected benefit as the investment budget
+  grows (the paper reports these on Douban; the stand-in uses the Facebook-like
+  dataset, the shapes are the same),
+* (c)/(d): redemption rate as λ (total benefit / total SC cost) grows,
+* (e)/(f): per-algorithm running time as the budget grows.
+
+Expected shapes (paper): S3CA achieves the highest redemption rate and total
+benefit everywhere; the benefit of every algorithm grows with the budget; the
+redemption rate of S3CA stays roughly level as the budget grows; IM-S trails
+badly on redemption rate and becomes slow at large budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import baseline_specs, s3ca_spec
+from repro.experiments.reporting import format_series
+from repro.experiments.sweeps import sweep_budget, sweep_lambda
+
+BUDGETS = [60.0, 110.0, 160.0]
+LAMBDAS = [0.5, 1.0, 2.0]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_budget_sweep(benchmark, report, bench_config):
+    algorithms = baseline_specs() + [s3ca_spec()]
+
+    def run():
+        return sweep_budget(
+            bench_config,
+            BUDGETS,
+            metrics=("redemption_rate", "expected_benefit", "seconds"),
+            algorithms=algorithms,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = "\n\n".join(
+        [
+            format_series(results["redemption_rate"], x_label="budget",
+                          title="Fig. 6(a) — redemption rate vs investment budget"),
+            format_series(results["expected_benefit"], x_label="budget",
+                          title="Fig. 6(b) — total benefit vs investment budget"),
+            format_series(results["seconds"], x_label="budget",
+                          title="Fig. 6(e)/(f) — running time (s) vs investment budget"),
+        ]
+    )
+    report("fig6_budget", text)
+
+    s3ca_rates = results["redemption_rate"]["S3CA"]
+    for name, series in results["redemption_rate"].items():
+        if name == "S3CA":
+            continue
+        # S3CA wins (or ties) the redemption rate at every budget.
+        for budget in BUDGETS:
+            assert s3ca_rates[budget] >= series[budget] - 1e-6
+    # Total benefit grows (weakly) with the budget for S3CA.
+    benefits = results["expected_benefit"]["S3CA"]
+    assert benefits[BUDGETS[-1]] >= benefits[BUDGETS[0]] - 1e-6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_lambda_sweep(benchmark, report, bench_config):
+    algorithms = baseline_specs(include_im_s=True) + [s3ca_spec()]
+
+    def run():
+        return sweep_lambda(
+            bench_config, LAMBDAS, metrics=("redemption_rate",), algorithms=algorithms
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_series(
+        results["redemption_rate"], x_label="lambda",
+        title="Fig. 6(c)/(d) — redemption rate vs lambda (total benefit / total SC cost)",
+    )
+    report("fig6_lambda", text)
+
+    s3ca = results["redemption_rate"]["S3CA"]
+    # A larger benefit-to-SC-cost ratio can only help the redemption rate.
+    assert s3ca[LAMBDAS[-1]] >= s3ca[LAMBDAS[0]] - 1e-6
+    for name, series in results["redemption_rate"].items():
+        for lam in LAMBDAS:
+            assert s3ca[lam] >= series[lam] - 1e-6

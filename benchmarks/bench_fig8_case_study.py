@@ -1,0 +1,79 @@
+"""Fig. 8 — case study with real SC policies (Airbnb, Booking/Hotels.com).
+
+For each policy, sweeps the gross margin and reports the redemption rate and
+the seed-SC spending split of S3CA and the PM baselines under the 85/10/5
+coupon-adoption model.
+
+Expected shapes (paper): the redemption rate grows with the gross margin for
+every algorithm; the Booking-style policy (10 coupons per user, SC cost 100)
+achieves a higher redemption rate than the Airbnb-style one (100 coupons per
+user, SC cost 50) because fewer allocated coupons go unredeemed; and S3CA
+attains the highest redemption rate at every margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SAMPLES, BENCH_SEED, s3ca_spec
+from repro.baselines.coupon_wrappers import make_pm_l, make_pm_u
+from repro.experiments.case_study import AIRBNB, BOOKING, case_study_series, run_case_study
+from repro.experiments.config import AlgorithmSpec, ExperimentConfig
+from repro.experiments.reporting import format_series
+
+GROSS_MARGINS = [0.3, 0.5, 0.7]
+CASE_SCALE = 0.1
+
+
+def _algorithms(policy):
+    return [
+        AlgorithmSpec(
+            "PM-U", lambda sc, est, seed: make_pm_u(sc, estimator=est)
+        ),
+        AlgorithmSpec(
+            "PM-L",
+            lambda sc, est, seed: make_pm_l(
+                sc, coupons_per_user=policy.coupons_per_user, estimator=est
+            ),
+        ),
+        s3ca_spec(),
+    ]
+
+
+def _run_policy(policy):
+    config = ExperimentConfig(
+        dataset="facebook", scale=CASE_SCALE, num_samples=BENCH_SAMPLES,
+        seed=BENCH_SEED, candidate_limit=6, max_pivot_candidates=15,
+        limited_coupons=policy.coupons_per_user,
+    )
+    return run_case_study(policy, GROSS_MARGINS, config, algorithms=_algorithms(policy))
+
+
+@pytest.mark.benchmark(group="fig8")
+@pytest.mark.parametrize("policy", [AIRBNB, BOOKING], ids=lambda p: p.name)
+def test_fig8_case_study(benchmark, report, policy):
+    results = benchmark.pedantic(_run_policy, args=(policy,), rounds=1, iterations=1)
+
+    rate_series = case_study_series(results, "redemption_rate")
+    split_series = case_study_series(results, "seed_sc_rate")
+    text = "\n\n".join(
+        [
+            format_series(
+                rate_series, x_label="gross_margin",
+                title=f"Fig. 8 — redemption rate vs gross margin ({policy.name})",
+            ),
+            format_series(
+                split_series, x_label="gross_margin",
+                title=f"Fig. 8 — seed-SC rate vs gross margin ({policy.name})",
+            ),
+        ]
+    )
+    report(f"fig8_case_study_{policy.name}", text)
+
+    s3ca = rate_series["S3CA"]
+    # Redemption rate grows with the gross margin for S3CA.
+    assert s3ca[GROSS_MARGINS[-1]] >= s3ca[GROSS_MARGINS[0]] - 1e-6
+    # S3CA achieves the highest redemption rate at every margin.
+    for margin in GROSS_MARGINS:
+        for name, series in rate_series.items():
+            assert s3ca[margin] >= series[margin] - 1e-6

@@ -1,0 +1,73 @@
+"""Fig. 9 — scalability of S3CA on PPGG-like synthetic networks.
+
+Regenerates the two sweeps of Fig. 9:
+
+* (a)/(b): running time and explored ratio as the network size grows under a
+  fixed budget,
+* (c)/(d): running time and explored ratio as the budget grows on a fixed
+  network.
+
+Expected shapes (paper): under a fixed budget the explored *ratio* falls as
+the network grows (S3CA stops exploring when the budget runs out), while both
+the running time and the explored ratio grow with the budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SAMPLES, BENCH_SEED
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.scalability import (
+    points_to_rows,
+    sweep_network_size,
+    sweep_scalability_budget,
+)
+
+SIZES = [60, 120, 200]
+BUDGETS = [40.0, 80.0, 160.0]
+FIXED_BUDGET = 60.0
+FIXED_SIZE = 100
+
+
+@pytest.fixture(scope="module")
+def scal_config():
+    return ExperimentConfig(
+        num_samples=BENCH_SAMPLES, seed=BENCH_SEED,
+        candidate_limit=5, max_pivot_candidates=12,
+    )
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_network_size_sweep(benchmark, report, scal_config):
+    points = benchmark.pedantic(
+        sweep_network_size, args=(SIZES, FIXED_BUDGET, scal_config),
+        rounds=1, iterations=1,
+    )
+    rows = points_to_rows(points)
+    text = format_table(
+        rows, title="Fig. 9(a)/(b) — running time and explored ratio vs network size"
+    )
+    report("fig9_network_size", text)
+
+    assert [row["nodes"] for row in rows] == SIZES
+    # Under a fixed budget, the explored ratio does not grow with network size.
+    assert rows[-1]["explored_ratio"] <= rows[0]["explored_ratio"] + 0.15
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_budget_sweep(benchmark, report, scal_config):
+    points = benchmark.pedantic(
+        sweep_scalability_budget, args=(BUDGETS, FIXED_SIZE, scal_config),
+        rounds=1, iterations=1,
+    )
+    rows = points_to_rows(points)
+    text = format_table(
+        rows, title="Fig. 9(c)/(d) — running time and explored ratio vs budget"
+    )
+    report("fig9_budget", text)
+
+    assert [row["budget"] for row in rows] == BUDGETS
+    # More budget explores at least as much of the network.
+    assert rows[-1]["explored_ratio"] >= rows[0]["explored_ratio"] - 0.1

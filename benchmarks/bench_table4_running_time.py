@@ -1,0 +1,53 @@
+"""Table IV — average running time of S3CA as the budget grows.
+
+Runs S3CA alone on two dataset stand-ins across a budget sweep and reports the
+wall-clock seconds per run.
+
+Expected shape (paper): the running time grows roughly linearly with the
+investment budget and depends on the budget far more than on the raw size of
+the network (S3CA stops exploring once the budget is spent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SAMPLES, BENCH_SCALE, BENCH_SEED, s3ca_spec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import sweep_budget
+
+DATASETS = ["facebook", "epinions"]
+BUDGET_FACTORS = [0.6, 1.0, 1.4]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_running_time(benchmark, report):
+    def run():
+        rows = []
+        for dataset in DATASETS:
+            from repro.experiments.datasets import DATASET_SPECS
+
+            base_budget = DATASET_SPECS[dataset].base_budget * BENCH_SCALE
+            budgets = [round(base_budget * factor, 1) for factor in BUDGET_FACTORS]
+            config = ExperimentConfig(
+                dataset=dataset, scale=BENCH_SCALE, num_samples=BENCH_SAMPLES,
+                seed=BENCH_SEED, candidate_limit=6, max_pivot_candidates=15,
+            )
+            results = sweep_budget(
+                config, budgets, metrics=("seconds",), algorithms=[s3ca_spec()]
+            )
+            row = {"dataset": dataset}
+            for budget, seconds in sorted(results["seconds"]["S3CA"].items()):
+                row[f"B={budget:g}"] = seconds
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(rows, title="Table IV — S3CA running time (seconds) vs budget")
+    report("table4_running_time", text)
+
+    for row in rows:
+        times = [value for key, value in row.items() if key.startswith("B=")]
+        assert len(times) == len(BUDGET_FACTORS)
+        assert all(value >= 0.0 for value in times)

@@ -1,0 +1,113 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec. VI) at laptop scale: the synthetic stand-in datasets are a few hundred
+nodes, the Monte-Carlo estimator uses a few dozen worlds and each sweep covers
+a handful of points.  The goal is to reproduce the *shape* of every artifact
+(who wins, how metrics respond to the swept knob), not the absolute numbers of
+the authors' testbed — see EXPERIMENTS.md for the side-by-side reading.
+
+Each benchmark prints its reproduction table and also writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Benchmark-scale knobs shared by every per-figure module.  Deliberately small
+# so the full suite finishes in minutes; scale them up for closer-to-paper runs.
+BENCH_SCALE = 0.15
+BENCH_SAMPLES = 30
+BENCH_SEED = 2019
+BENCH_CANDIDATE_LIMIT = 6
+BENCH_PIVOT_LIMIT = 15
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Fixture returning a ``report(name, text)`` function: print + persist."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The shared tiny ExperimentConfig used by the figure benchmarks."""
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        dataset="facebook",
+        scale=BENCH_SCALE,
+        num_samples=BENCH_SAMPLES,
+        seed=BENCH_SEED,
+        candidate_limit=BENCH_CANDIDATE_LIMIT,
+        max_pivot_candidates=BENCH_PIVOT_LIMIT,
+    )
+
+
+def s3ca_spec(candidate_limit: int = BENCH_CANDIDATE_LIMIT,
+              pivot_limit: int = BENCH_PIVOT_LIMIT):
+    """AlgorithmSpec for S3CA with the benchmark-scale knobs."""
+    from repro.core.s3ca import S3CA
+    from repro.experiments.config import AlgorithmSpec
+
+    return AlgorithmSpec(
+        "S3CA",
+        lambda scenario, estimator, seed: S3CA(
+            scenario,
+            estimator=estimator,
+            candidate_limit=candidate_limit,
+            max_pivot_candidates=pivot_limit,
+            max_paths_per_seed=40,
+        ),
+    )
+
+
+def baseline_specs(limited_coupons: int = 32, include_im_s: bool = True):
+    """AlgorithmSpecs for the paper's baselines."""
+    from repro.baselines.coupon_wrappers import (
+        make_im_l,
+        make_im_u,
+        make_pm_l,
+        make_pm_u,
+    )
+    from repro.baselines.im_s import IMShortestPath
+    from repro.experiments.config import AlgorithmSpec
+
+    specs = [
+        AlgorithmSpec("IM-U", lambda sc, est, seed: make_im_u(sc, estimator=est)),
+        AlgorithmSpec(
+            "IM-L",
+            lambda sc, est, seed: make_im_l(
+                sc, coupons_per_user=limited_coupons, estimator=est
+            ),
+        ),
+        AlgorithmSpec("PM-U", lambda sc, est, seed: make_pm_u(sc, estimator=est)),
+        AlgorithmSpec(
+            "PM-L",
+            lambda sc, est, seed: make_pm_l(
+                sc, coupons_per_user=limited_coupons, estimator=est
+            ),
+        ),
+    ]
+    if include_im_s:
+        specs.append(
+            AlgorithmSpec("IM-S", lambda sc, est, seed: IMShortestPath(sc, estimator=est))
+        )
+    return specs

@@ -1,0 +1,43 @@
+"""Baseline algorithms of the paper's evaluation (Sec. VI-A).
+
+* **IM** — greedy influence maximisation (CELF lazy greedy) plus a degree
+  heuristic, with the seed size chosen as ``|V| / 2^n`` as in the paper.
+* **PM** — greedy profit maximisation (benefit minus seed cost).
+* **IM-U / IM-L / PM-U / PM-L** — IM and PM combined with the unlimited and
+  limited real-world coupon strategies.
+* **IM-S** — the paper's two-stage heuristic that connects IM seeds with
+  shortest paths and spreads coupons uniformly along them.
+* **Random** — a random seed/coupon policy used as a sanity floor.
+* **Exhaustive** — the exact optimum by brute force on tiny instances
+  (the Fig. 10 optimality study).
+"""
+
+from repro.baselines.base import AlgorithmResult, BaselineAlgorithm
+from repro.baselines.coupon_wrappers import (
+    CouponStrategyBaseline,
+    make_im_l,
+    make_im_u,
+    make_pm_l,
+    make_pm_u,
+)
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.baselines.im_s import IMShortestPath
+from repro.baselines.influence_max import DegreeHeuristic, GreedyInfluenceMaximization
+from repro.baselines.profit_max import GreedyProfitMaximization
+from repro.baselines.random_policy import RandomPolicy
+
+__all__ = [
+    "AlgorithmResult",
+    "BaselineAlgorithm",
+    "CouponStrategyBaseline",
+    "make_im_l",
+    "make_im_u",
+    "make_pm_l",
+    "make_pm_u",
+    "ExhaustiveSearch",
+    "IMShortestPath",
+    "DegreeHeuristic",
+    "GreedyInfluenceMaximization",
+    "GreedyProfitMaximization",
+    "RandomPolicy",
+]

@@ -1,0 +1,197 @@
+"""IM-U, IM-L, PM-U, PM-L: seed selectors combined with real coupon policies.
+
+The paper's baselines are not coupon-aware, so its evaluation pairs each seed
+selector (IM or PM) with one of the two deployed coupon strategies (unlimited
+or limited) and fits the combination into the investment budget (Sec. VI-A):
+
+1. seeds are taken in the selector's greedy order while their seed cost — plus
+   the coupons the strategy mandates for the seeds themselves — still fits the
+   budget (the paper's "select only seeds under the remaining budget"), and
+2. the remaining budget is spent handing each user reachable from the seeds
+   her strategy allocation, in breadth-first order from the seeds, until the
+   next user no longer fits.
+
+The BFS hand-out means the limited strategy (32 coupons per user, each costing
+money in expectation) exhausts the budget close to the seeds — reproducing the
+shallow spreads the paper reports for IM-L/PM-L in Table III — while the
+unlimited strategy's per-user cost scales with out-degree and the budget
+reaches somewhat deeper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Optional
+
+from repro.baselines.base import BaselineAlgorithm
+from repro.baselines.influence_max import GreedyInfluenceMaximization
+from repro.baselines.profit_max import GreedyProfitMaximization
+from repro.core.deployment import Deployment
+from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.economics.coupons import (
+    CouponStrategy,
+    LimitedCouponStrategy,
+    UnlimitedCouponStrategy,
+)
+from repro.economics.scenario import Scenario
+from repro.utils.rng import SeedLike
+
+NodeId = Hashable
+
+
+class CouponStrategyBaseline(BaselineAlgorithm):
+    """A seed selector combined with a coupon strategy under the budget."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        selector: BaselineAlgorithm,
+        strategy: CouponStrategy,
+        *,
+        name: Optional[str] = None,
+        estimator: Optional[BenefitEstimator] = None,
+        num_samples: int = 200,
+        seed: SeedLike = None,
+        max_seeds: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            scenario, estimator=estimator or selector.estimator,
+            num_samples=num_samples, seed=seed,
+        )
+        self.selector = selector
+        self.strategy = strategy
+        self.max_seeds = max_seeds
+        self.name = name or f"{selector.name}-{strategy.name}"
+
+    # ------------------------------------------------------------------
+
+    def select(self) -> Deployment:
+        budget = self.scenario.budget_limit
+        ranking: List[NodeId] = self.selector.ranked_seeds(self.max_seeds)
+
+        deployment = Deployment(self.graph)
+        # Stage 1: seed prefix.  Each seed is admitted together with its own
+        # strategy allocation so a strategy with expensive per-user coupons
+        # admits fewer seeds.
+        for node in ranking:
+            candidate = deployment.with_seed(node)
+            coupons = self.strategy.allocation_for(self.graph, node)
+            if coupons > 0:
+                candidate.allocation.set(
+                    node, max(candidate.allocation.get(node), coupons)
+                )
+            if candidate.total_cost() > budget:
+                break
+            deployment = candidate
+
+        if not deployment.seeds and ranking:
+            # Not even one seed with its coupons fits: fall back to the
+            # cheapest-ranked seed without coupons if that alone is affordable.
+            for node in ranking:
+                candidate = Deployment(self.graph, seeds=[node])
+                if candidate.total_cost() <= budget:
+                    deployment = candidate
+                    break
+
+        # Stage 2: hand out coupons breadth-first from the seeds.
+        self._spread_coupons(deployment, budget)
+        return deployment
+
+    # ------------------------------------------------------------------
+
+    def _spread_coupons(self, deployment: Deployment, budget: float) -> None:
+        """Give reachable users their strategy allocation while the budget lasts."""
+        graph = self.graph
+        visited = set(deployment.seeds)
+        frontier = deque(sorted(deployment.seeds, key=str))
+        while frontier:
+            user = frontier.popleft()
+            coupons = self.strategy.allocation_for(graph, user)
+            if coupons > deployment.allocation.get(user):
+                candidate = deployment.copy()
+                candidate.allocation.set(user, coupons)
+                if candidate.total_cost() <= budget:
+                    deployment.allocation.set(user, coupons)
+                # When the full allocation does not fit, the user is skipped
+                # (rather than aborting the hand-out) so the remaining budget
+                # can still equip cheaper users further out.
+            if deployment.allocation.get(user) <= 0:
+                continue
+            for neighbor, _probability in graph.ranked_out_neighbors(user):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+
+
+def make_im_u(
+    scenario: Scenario,
+    *,
+    estimator: Optional[BenefitEstimator] = None,
+    num_samples: int = 200,
+    seed: SeedLike = None,
+    max_seeds: Optional[int] = None,
+) -> CouponStrategyBaseline:
+    """IM with the unlimited coupon strategy (IM-U)."""
+    selector = GreedyInfluenceMaximization(
+        scenario, estimator=estimator, num_samples=num_samples, seed=seed
+    )
+    return CouponStrategyBaseline(
+        scenario, selector, UnlimitedCouponStrategy(), name="IM-U",
+        estimator=selector.estimator, max_seeds=max_seeds,
+    )
+
+
+def make_im_l(
+    scenario: Scenario,
+    coupons_per_user: int = 32,
+    *,
+    estimator: Optional[BenefitEstimator] = None,
+    num_samples: int = 200,
+    seed: SeedLike = None,
+    max_seeds: Optional[int] = None,
+) -> CouponStrategyBaseline:
+    """IM with the limited coupon strategy (IM-L, Dropbox's 32 by default)."""
+    selector = GreedyInfluenceMaximization(
+        scenario, estimator=estimator, num_samples=num_samples, seed=seed
+    )
+    return CouponStrategyBaseline(
+        scenario, selector, LimitedCouponStrategy(coupons_per_user), name="IM-L",
+        estimator=selector.estimator, max_seeds=max_seeds,
+    )
+
+
+def make_pm_u(
+    scenario: Scenario,
+    *,
+    estimator: Optional[BenefitEstimator] = None,
+    num_samples: int = 200,
+    seed: SeedLike = None,
+    max_seeds: Optional[int] = None,
+) -> CouponStrategyBaseline:
+    """PM with the unlimited coupon strategy (PM-U)."""
+    selector = GreedyProfitMaximization(
+        scenario, estimator=estimator, num_samples=num_samples, seed=seed
+    )
+    return CouponStrategyBaseline(
+        scenario, selector, UnlimitedCouponStrategy(), name="PM-U",
+        estimator=selector.estimator, max_seeds=max_seeds,
+    )
+
+
+def make_pm_l(
+    scenario: Scenario,
+    coupons_per_user: int = 32,
+    *,
+    estimator: Optional[BenefitEstimator] = None,
+    num_samples: int = 200,
+    seed: SeedLike = None,
+    max_seeds: Optional[int] = None,
+) -> CouponStrategyBaseline:
+    """PM with the limited coupon strategy (PM-L)."""
+    selector = GreedyProfitMaximization(
+        scenario, estimator=estimator, num_samples=num_samples, seed=seed
+    )
+    return CouponStrategyBaseline(
+        scenario, selector, LimitedCouponStrategy(coupons_per_user), name="PM-L",
+        estimator=selector.estimator, max_seeds=max_seeds,
+    )

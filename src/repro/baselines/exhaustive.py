@@ -1,0 +1,110 @@
+"""Exhaustive optimal search for tiny instances.
+
+The paper's Fig. 10 validates the approximation ratio by comparing S3CA with
+the optimum obtained by "computation-intensive exhaustive search" on small
+networks.  :class:`ExhaustiveSearch` reproduces that oracle: it enumerates
+every seed set up to ``max_seeds`` and, for each, every coupon allocation over
+the nodes reachable from those seeds with at most ``max_coupons_per_node``
+coupons per node and ``max_total_coupons`` in total, keeping the feasible
+deployment with the highest redemption rate.  The search is exponential and is
+only intended for instances with a dozen or so nodes (or tight coupon bounds).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.baselines.base import BaselineAlgorithm
+from repro.core.deployment import Deployment
+from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.metrics import reachable_set
+from repro.utils.rng import SeedLike
+
+NodeId = Hashable
+
+
+class ExhaustiveSearch(BaselineAlgorithm):
+    """Brute-force optimum of S3CRM on tiny instances."""
+
+    name = "OPT"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        estimator: Optional[BenefitEstimator] = None,
+        num_samples: int = 500,
+        seed: SeedLike = None,
+        max_seeds: int = 2,
+        max_coupons_per_node: int = 2,
+        max_total_coupons: int = 6,
+        candidate_seeds: Optional[Iterable[NodeId]] = None,
+    ) -> None:
+        super().__init__(scenario, estimator=estimator, num_samples=num_samples, seed=seed)
+        self.max_seeds = max_seeds
+        self.max_coupons_per_node = max_coupons_per_node
+        self.max_total_coupons = max_total_coupons
+        self.candidate_seeds = (
+            list(candidate_seeds) if candidate_seeds is not None else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def select(self) -> Deployment:
+        budget = self.scenario.budget_limit
+        graph = self.graph
+        seed_pool = self.candidate_seeds
+        if seed_pool is None:
+            seed_pool = [
+                node for node in graph.nodes() if graph.seed_cost(node) <= budget
+            ]
+        seed_pool = sorted(seed_pool, key=str)
+
+        best: Optional[Deployment] = None
+        best_rate = 0.0
+
+        for size in range(1, self.max_seeds + 1):
+            for seeds in combinations(seed_pool, size):
+                base = Deployment(graph, seeds=seeds)
+                if base.seed_cost() > budget:
+                    continue
+                for deployment in self._enumerate_allocations(base, budget):
+                    rate = deployment.redemption_rate(self.estimator)
+                    if rate > best_rate:
+                        best_rate = rate
+                        best = deployment
+        return best if best is not None else Deployment(graph)
+
+    # ------------------------------------------------------------------
+
+    def _enumerate_allocations(
+        self, base: Deployment, budget: float
+    ) -> Iterable[Deployment]:
+        """All bounded allocations over nodes reachable from the seeds."""
+        graph = self.graph
+        holders: List[NodeId] = sorted(
+            (
+                node
+                for node in reachable_set(graph, base.seeds)
+                if graph.out_degree(node) > 0
+            ),
+            key=str,
+        )
+        per_node_options: List[Tuple[int, ...]] = [
+            tuple(range(0, min(self.max_coupons_per_node, graph.out_degree(node)) + 1))
+            for node in holders
+        ]
+        if not holders:
+            yield base
+            return
+        for counts in product(*per_node_options):
+            if sum(counts) > self.max_total_coupons:
+                continue
+            deployment = base.copy()
+            for node, count in zip(holders, counts):
+                if count > 0:
+                    deployment.allocation.set(node, count)
+            if deployment.total_cost() <= budget:
+                yield deployment

@@ -1,0 +1,93 @@
+"""Profit-maximisation seed selector (the PM baseline, Tang et al. [17]).
+
+Profit is defined as the expected benefit of the influenced users minus the
+cost of activating the seeds.  The greedy algorithm adds the seed with the
+largest marginal profit while it stays positive; like the IM baseline it
+reasons under the plain independent cascade (unlimited referrals) and leaves
+the budgeted coupon allocation to the coupon-strategy wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.baselines.base import BaselineAlgorithm
+from repro.core.deployment import Deployment
+from repro.diffusion.independent_cascade import saturated_allocation
+
+NodeId = Hashable
+
+
+class GreedyProfitMaximization(BaselineAlgorithm):
+    """Greedy marginal-profit seed selection under the plain IC model."""
+
+    name = "PM"
+
+    def __init__(self, *args, max_seeds: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.max_seeds = max_seeds
+        self._saturated = saturated_allocation(self.graph)
+
+    # ------------------------------------------------------------------
+
+    def benefit(self, seeds) -> float:
+        """Expected benefit of the influenced users (plain IC)."""
+        return self.estimator.expected_benefit(seeds, self._saturated)
+
+    def profit(self, seeds) -> float:
+        """Expected benefit minus the total seed cost."""
+        seeds = list(seeds)
+        return self.benefit(seeds) - sum(self.graph.seed_cost(s) for s in seeds)
+
+    def ranked_seeds(self, limit: Optional[int] = None) -> List[NodeId]:
+        """Greedy order by marginal profit, stopping when it turns non-positive."""
+        limit = limit if limit is not None else self.max_seeds
+        if limit is None:
+            limit = self.graph.num_nodes
+
+        selected: List[NodeId] = []
+        current_benefit = 0.0
+        remaining = set(self.graph.nodes())
+        fallback: NodeId | None = None
+        fallback_marginal = float("-inf")
+        while len(selected) < limit and remaining:
+            best_node = None
+            best_marginal = 0.0
+            best_benefit = current_benefit
+            for node in sorted(remaining, key=str):
+                new_benefit = self.benefit(selected + [node])
+                marginal = (new_benefit - current_benefit) - self.graph.seed_cost(node)
+                if not selected and marginal > fallback_marginal:
+                    fallback_marginal = marginal
+                    fallback = node
+                if marginal > best_marginal:
+                    best_marginal = marginal
+                    best_node = node
+                    best_benefit = new_benefit
+            if best_node is None:
+                break
+            selected.append(best_node)
+            remaining.discard(best_node)
+            current_benefit = best_benefit
+        if not selected and fallback is not None:
+            # No seed is strictly profitable (seed costs dominate benefits,
+            # e.g. large kappa).  A real campaign still recruits someone, so
+            # fall back to the least unprofitable seed instead of doing
+            # nothing; this mirrors how the paper's PM baseline still produces
+            # a deployment in every setting of the evaluation.
+            selected.append(fallback)
+        return selected
+
+    def select(self) -> Deployment:
+        """Greedy profit seeds that fit the budget, saturated allocation."""
+        budget = self.scenario.budget_limit
+        deployment = Deployment(self.graph)
+        for node in self.ranked_seeds():
+            candidate = deployment.with_seed(node)
+            if candidate.seed_cost() > budget:
+                break
+            deployment = candidate
+        from repro.baselines.influence_max import _saturate_reachable
+
+        _saturate_reachable(deployment)
+        return deployment

@@ -1,0 +1,214 @@
+"""Command-line interface for the reproduction harness.
+
+The CLI exposes the experiment harness without writing any Python:
+
+.. code-block:: bash
+
+    python -m repro.cli datasets                       # Table II stand-ins
+    python -m repro.cli compare --dataset facebook     # one full comparison
+    python -m repro.cli sweep-budget --budgets 60 120  # Fig. 6 style sweep
+    python -m repro.cli case-study --policy airbnb     # Fig. 8 style case study
+    python -m repro.cli solve --dataset epinions       # just run S3CA
+
+Every subcommand prints the same text tables the benchmark harness writes to
+``benchmarks/results/`` and exits non-zero on invalid arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.s3ca import S3CA
+from repro.experiments.case_study import AIRBNB, BOOKING, case_study_series, run_case_study
+from repro.experiments.config import AlgorithmSpec, ExperimentConfig
+from repro.experiments.datasets import DATASET_SPECS, build_scenario, table2_rows
+from repro.experiments.reporting import format_series, format_table, records_to_rows
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweeps import sweep_budget
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for the S3CRM / S3CA paper (ICDE 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", default="facebook", choices=sorted(DATASET_SPECS))
+        sub.add_argument("--scale", type=float, default=0.15,
+                         help="dataset scale factor (1.0 = a few hundred users)")
+        sub.add_argument("--budget", type=float, default=None)
+        sub.add_argument("--lam", type=float, default=1.0)
+        sub.add_argument("--kappa", type=float, default=10.0)
+        sub.add_argument("--samples", type=int, default=50)
+        sub.add_argument("--seed", type=int, default=2019)
+        sub.add_argument("--candidate-limit", type=int, default=8)
+        sub.add_argument("--pivot-limit", type=int, default=20)
+
+    datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
+    datasets.add_argument("--scale", type=float, default=0.15)
+    datasets.add_argument("--seed", type=int, default=2019)
+
+    solve = subparsers.add_parser("solve", help="run S3CA on one dataset")
+    add_common(solve)
+    solve.add_argument("--spend-full-budget", action="store_true")
+
+    compare = subparsers.add_parser(
+        "compare", help="run S3CA and every baseline on one dataset"
+    )
+    add_common(compare)
+    compare.add_argument("--no-im-s", action="store_true",
+                         help="skip the IM-S baseline (it is the slowest)")
+
+    sweep = subparsers.add_parser("sweep-budget", help="Fig. 6 style budget sweep")
+    add_common(sweep)
+    sweep.add_argument("--budgets", type=float, nargs="+", required=True)
+
+    case = subparsers.add_parser("case-study", help="Fig. 8 style case study")
+    add_common(case)
+    case.add_argument("--policy", choices=("airbnb", "booking"), default="airbnb")
+    case.add_argument("--margins", type=float, nargs="+", default=[0.3, 0.5, 0.7])
+
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        budget=args.budget,
+        lam=args.lam,
+        kappa=args.kappa,
+        num_samples=args.samples,
+        seed=args.seed,
+        candidate_limit=args.candidate_limit,
+        max_pivot_candidates=args.pivot_limit,
+    )
+
+
+def _s3ca_spec(args: argparse.Namespace) -> AlgorithmSpec:
+    return AlgorithmSpec(
+        "S3CA",
+        lambda scenario, estimator, seed: S3CA(
+            scenario,
+            estimator=estimator,
+            candidate_limit=args.candidate_limit,
+            max_pivot_candidates=args.pivot_limit,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def cmd_datasets(args: argparse.Namespace) -> str:
+    rows = table2_rows(scale=args.scale, seed=args.seed)
+    return format_table(rows, title="Table II — dataset stand-ins")
+
+
+def cmd_solve(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    scenario = build_scenario(
+        config.dataset, scale=config.scale, budget=config.budget,
+        lam=config.lam, kappa=config.kappa, seed=config.seed,
+    )
+    result = S3CA(
+        scenario,
+        num_samples=config.num_samples,
+        seed=config.seed,
+        candidate_limit=config.candidate_limit,
+        max_pivot_candidates=config.max_pivot_candidates,
+        spend_full_budget=getattr(args, "spend_full_budget", False),
+    ).solve()
+    rows = [
+        {
+            "seeds": len(result.seeds),
+            "coupons": sum(result.allocation.values()),
+            "expected_benefit": result.expected_benefit,
+            "total_cost": result.total_cost,
+            "redemption_rate": result.redemption_rate,
+            "explored_nodes": result.explored_nodes,
+            "seconds": result.total_seconds,
+        }
+    ]
+    return format_table(rows, title=f"S3CA on {scenario.describe()}")
+
+
+def cmd_compare(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    scenario = build_scenario(
+        config.dataset, scale=config.scale, budget=config.budget,
+        lam=config.lam, kappa=config.kappa, seed=config.seed,
+    )
+    runner = ExperimentRunner(scenario, config)
+    specs = runner.default_algorithms(include_im_s=not args.no_im_s)
+    records = runner.run_all(specs)
+    rows = records_to_rows(
+        records,
+        metrics=[
+            "redemption_rate", "expected_benefit", "total_cost",
+            "seed_sc_rate", "farthest_hop", "seconds",
+        ],
+    )
+    return format_table(rows, title=f"Comparison on {scenario.describe()}")
+
+
+def cmd_sweep_budget(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    results = sweep_budget(
+        config, args.budgets, metrics=("redemption_rate", "expected_benefit"),
+        algorithms=None, include_im_s=False,
+    )
+    parts = [
+        format_series(results["redemption_rate"], x_label="budget",
+                      title="Redemption rate vs budget"),
+        format_series(results["expected_benefit"], x_label="budget",
+                      title="Total benefit vs budget"),
+    ]
+    return "\n\n".join(parts)
+
+
+def cmd_case_study(args: argparse.Namespace) -> str:
+    config = _config_from_args(args)
+    policy = AIRBNB if args.policy == "airbnb" else BOOKING
+    config = config.replace(limited_coupons=policy.coupons_per_user)
+    results = run_case_study(
+        policy, args.margins, config, algorithms=[_s3ca_spec(args)]
+    )
+    parts = [
+        format_series(case_study_series(results, "redemption_rate"),
+                      x_label="gross_margin",
+                      title=f"Redemption rate vs gross margin ({policy.name})"),
+        format_series(case_study_series(results, "seed_sc_rate"),
+                      x_label="gross_margin",
+                      title=f"Seed-SC rate vs gross margin ({policy.name})"),
+    ]
+    return "\n\n".join(parts)
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "solve": cmd_solve,
+    "compare": cmd_compare,
+    "sweep-budget": cmd_sweep_budget,
+    "case-study": cmd_case_study,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

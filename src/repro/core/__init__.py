@@ -1,0 +1,36 @@
+"""The paper's contribution: S3CRM problem objects and the S3CA algorithm.
+
+* :mod:`repro.core.allocation` — the social-coupon allocation ``K(I)`` and the
+  analytic expected SC cost ``Csc(K(I))``.
+* :mod:`repro.core.deployment` — a full deployment ``{S, I, K(I)}`` with its
+  cost and redemption-rate accounting.
+* :mod:`repro.core.marginal` — marginal-redemption evaluation.
+* :mod:`repro.core.investment` — phase 1, Investment Deployment (ID).
+* :mod:`repro.core.guaranteed_paths` — phase 2, Guaranteed Path Identification.
+* :mod:`repro.core.maneuver` — phase 3, SC Maneuver (SCM) with the DIMD rule.
+* :mod:`repro.core.s3ca` — the orchestrating :class:`S3CA` solver.
+"""
+
+from repro.core.allocation import SCAllocation, expected_sc_cost
+from repro.core.deployment import Deployment
+from repro.core.guaranteed_paths import GuaranteedPath, identify_guaranteed_paths
+from repro.core.investment import InvestmentDeployment, InvestmentResult
+from repro.core.maneuver import ManeuverOperation, SCManeuver
+from repro.core.marginal import MarginalEvaluation, MarginalRedemption
+from repro.core.s3ca import S3CA, S3CAResult
+
+__all__ = [
+    "SCAllocation",
+    "expected_sc_cost",
+    "Deployment",
+    "GuaranteedPath",
+    "identify_guaranteed_paths",
+    "InvestmentDeployment",
+    "InvestmentResult",
+    "ManeuverOperation",
+    "SCManeuver",
+    "MarginalEvaluation",
+    "MarginalRedemption",
+    "S3CA",
+    "S3CAResult",
+]

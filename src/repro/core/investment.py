@@ -1,0 +1,292 @@
+"""Phase 1 of S3CA: Investment Deployment (ID).
+
+The ID phase (Alg. 1, lines 1–24 of the paper) deploys the investment budget
+greedily by *marginal redemption* using three strategies:
+
+1. **initiate** — activate a new seed (the next *pivot source* popped from a
+   priority queue built up-front),
+2. **broaden** — give one more coupon to a node that already holds coupons,
+3. **deepen** — give a first coupon to a node that the current spread can
+   already reach, extending the frontier.
+
+The phase records the deployment after *every* investment (the candidate set
+``D`` of the pseudo-code) and returns the snapshot with the highest redemption
+rate, so overshooting the sweet spot late in the budget never hurts the final
+answer.
+
+Faithfulness notes
+------------------
+* The pivot queue is built exactly as in lines 1–8: every affordable user is
+  evaluated as a singleton seed, optionally upgraded with a single coupon when
+  that improves its redemption rate, and enqueued by the resulting rate.
+* Strategies 2 and 3 are both "allocate an SC to an influenced user"; we
+  gather the candidate set from the estimator's activation probabilities,
+  which covers both the interior (broaden) and the frontier (deepen) cases.
+* ``candidate_limit`` bounds how many coupon candidates are scored per
+  iteration (highest activation probability first).  The paper's pseudo-code
+  scores all of them; the limit exists so the big benchmark graphs stay
+  tractable, and ``None`` recovers the exact behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.deployment import Deployment
+from repro.core.marginal import MarginalEvaluation, MarginalRedemption
+from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.economics.scenario import Scenario
+from repro.utils.indexed_heap import IndexedMaxHeap
+
+NodeId = Hashable
+
+
+@dataclass
+class PivotCandidate:
+    """A user prepared for the pivot queue: seed with an optional first coupon."""
+
+    node: NodeId
+    coupons: int
+    redemption_rate: float
+    total_cost: float
+
+
+@dataclass
+class InvestmentResult:
+    """Outcome of the ID phase.
+
+    Attributes
+    ----------
+    deployment:
+        The best deployment found (maximum redemption rate among snapshots).
+    snapshots:
+        Every intermediate deployment, in the order it was produced.
+    explored_nodes:
+        Users whose marginal redemption was evaluated at least once — the
+        numerator of the *explored ratio* reported in Fig. 9.
+    iterations:
+        Number of greedy investments applied.
+    """
+
+    deployment: Deployment
+    snapshots: List[Deployment] = field(default_factory=list)
+    explored_nodes: Set[NodeId] = field(default_factory=set)
+    iterations: int = 0
+
+    @property
+    def explored_count(self) -> int:
+        """Number of distinct users explored."""
+        return len(self.explored_nodes)
+
+
+class InvestmentDeployment:
+    """Greedy budgeted deployment of seeds and coupons by marginal redemption."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        estimator: BenefitEstimator,
+        *,
+        candidate_limit: Optional[int] = None,
+        max_pivot_candidates: Optional[int] = None,
+        activation_threshold: float = 0.0,
+    ) -> None:
+        self.scenario = scenario
+        self.graph = scenario.graph
+        self.estimator = estimator
+        self.marginal = MarginalRedemption(estimator)
+        self.candidate_limit = candidate_limit
+        self.max_pivot_candidates = max_pivot_candidates
+        self.activation_threshold = activation_threshold
+        self._sc_cost_cache: Dict[Tuple[NodeId, int], float] = {}
+        self.explored_nodes: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # pivot queue (Alg. 1 lines 1-8)
+    # ------------------------------------------------------------------
+
+    def build_pivot_queue(self) -> IndexedMaxHeap:
+        """Rank every affordable user as a potential influence source.
+
+        Each user is priced as a singleton seed; if additionally handing the
+        user one coupon raises its stand-alone redemption rate (and still fits
+        the budget), the queued entry carries that coupon.  The queue priority
+        is the resulting redemption rate, matching the "sorted by redemption
+        rate" priority queue ``Q`` of the pseudo-code.
+        """
+        budget = self.scenario.budget_limit
+        queue: IndexedMaxHeap = IndexedMaxHeap()
+        self._pivot_configs: Dict[NodeId, PivotCandidate] = {}
+
+        candidates = list(self.graph.nodes())
+        scored: List[Tuple[float, NodeId]] = []
+        for node in candidates:
+            seed_cost = self.graph.seed_cost(node)
+            if seed_cost <= 0 or seed_cost > budget:
+                continue
+            # Cheap pre-score: stand-alone benefit per seed cost, used only to
+            # bound how many users get the expensive Monte-Carlo treatment.
+            scored.append((self.graph.benefit(node) / seed_cost, node))
+        scored.sort(key=lambda item: (-item[0], str(item[1])))
+        if self.max_pivot_candidates is not None:
+            scored = scored[: self.max_pivot_candidates]
+
+        empty = Deployment(self.graph, sc_cost_cache=self._sc_cost_cache)
+        for _, node in scored:
+            self.explored_nodes.add(node)
+            seed_only = empty.with_seed(node)
+            seed_cost = seed_only.total_cost()
+            if seed_cost > budget:
+                continue
+            benefit = seed_only.expected_benefit(self.estimator)
+            best_rate = benefit / seed_cost if seed_cost > 0 else 0.0
+            best = PivotCandidate(node, 0, best_rate, seed_cost)
+
+            if self.graph.out_degree(node) > 0:
+                with_coupon = empty.with_seed(node, coupons=1)
+                cost = with_coupon.total_cost()
+                if cost <= budget:
+                    coupon_benefit = with_coupon.expected_benefit(self.estimator)
+                    rate = coupon_benefit / cost if cost > 0 else 0.0
+                    if rate > best_rate:
+                        best = PivotCandidate(node, 1, rate, cost)
+
+            if best.redemption_rate > 0:
+                self._pivot_configs[node] = best
+                queue.push(node, best.redemption_rate)
+        return queue
+
+    # ------------------------------------------------------------------
+    # deployment loop (Alg. 1 lines 9-24)
+    # ------------------------------------------------------------------
+
+    def run(self) -> InvestmentResult:
+        """Run the full ID phase and return the best snapshot."""
+        budget = self.scenario.budget_limit
+        queue = self.build_pivot_queue()
+
+        if not queue:
+            empty = Deployment(self.graph, sc_cost_cache=self._sc_cost_cache)
+            return InvestmentResult(deployment=empty, snapshots=[empty],
+                                    explored_nodes=set(self.explored_nodes))
+
+        first, _ = queue.pop()
+        first_config = self._pivot_configs[first]
+        current = Deployment(
+            self.graph,
+            seeds=[first],
+            allocation={first: first_config.coupons} if first_config.coupons else {},
+            sc_cost_cache=self._sc_cost_cache,
+        )
+        snapshots: List[Deployment] = [current.copy()]
+        iterations = 0
+
+        pivot = self._next_pivot(queue)
+
+        while True:
+            if current.total_cost() >= budget:
+                break
+            base_benefit = current.expected_benefit(self.estimator)
+            best_eval = self._best_coupon_investment(current, base_benefit, budget)
+            pivot_rate = pivot.redemption_rate if pivot is not None else float("-inf")
+
+            if best_eval is None and pivot is None:
+                break
+
+            take_pivot = False
+            if pivot is not None:
+                if best_eval is None or pivot_rate >= best_eval.ratio:
+                    take_pivot = True
+
+            if take_pivot:
+                assert pivot is not None
+                candidate = current.with_seed(
+                    pivot.node, coupons=pivot.coupons
+                )
+                if candidate.total_cost() <= budget and pivot.node not in current.seeds:
+                    current = candidate
+                    snapshots.append(current.copy())
+                    iterations += 1
+                    pivot = self._next_pivot(queue)
+                    continue
+                # pivot does not fit: discard it and retry with the next one
+                pivot = self._next_pivot(queue)
+                if pivot is None and best_eval is None:
+                    break
+                continue
+
+            assert best_eval is not None
+            if best_eval.ratio <= 0:
+                break
+            current = best_eval.resulting
+            snapshots.append(current.copy())
+            iterations += 1
+
+        best = max(
+            snapshots,
+            key=lambda deployment: deployment.redemption_rate(self.estimator),
+        )
+        return InvestmentResult(
+            deployment=best,
+            snapshots=snapshots,
+            explored_nodes=set(self.explored_nodes),
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _next_pivot(self, queue: IndexedMaxHeap) -> Optional[PivotCandidate]:
+        """Pop the next pivot source whose stand-alone cost still fits the budget."""
+        while queue:
+            node, _ = queue.pop()
+            config = self._pivot_configs[node]
+            return config
+        return None
+
+    def _coupon_candidates(self, deployment: Deployment) -> List[NodeId]:
+        """Users eligible for one more coupon under the current deployment.
+
+        These are the users with a positive probability of being active
+        (estimated from the shared Monte-Carlo worlds) that can still hand out
+        at least one more coupon.  They cover both the paper's "broaden"
+        (already holding coupons) and "deepen" (frontier, zero coupons so far)
+        strategies.
+        """
+        probabilities = self.estimator.activation_probabilities(
+            deployment.seeds, deployment.allocation.as_dict()
+        )
+        candidates = [
+            (probability, node)
+            for node, probability in probabilities.items()
+            if probability > self.activation_threshold
+            and deployment.allocation.get(node) < self.graph.out_degree(node)
+        ]
+        candidates.sort(key=lambda item: (-item[0], str(item[1])))
+        nodes = [node for _, node in candidates]
+        if self.candidate_limit is not None:
+            nodes = nodes[: self.candidate_limit]
+        return nodes
+
+    def _best_coupon_investment(
+        self,
+        deployment: Deployment,
+        base_benefit: float,
+        budget: float,
+    ) -> Optional[MarginalEvaluation]:
+        """Highest-MR coupon investment that still fits the budget."""
+        best: Optional[MarginalEvaluation] = None
+        for node in self._coupon_candidates(deployment):
+            self.explored_nodes.add(node)
+            evaluation = self.marginal.of_extra_coupon(
+                deployment, node, base_benefit=base_benefit
+            )
+            if evaluation is None:
+                continue
+            if evaluation.resulting.total_cost() > budget:
+                continue
+            if best is None or evaluation.ratio > best.ratio:
+                best = evaluation
+        return best

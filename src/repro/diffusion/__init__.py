@@ -1,0 +1,29 @@
+"""Influence-propagation substrate.
+
+The diffusion subpackage implements the SC-constrained independent cascade of
+Sec. III (``sc_cascade``), the plain independent cascade it reduces to under
+the unlimited coupon strategy (``independent_cascade``), live-edge world
+realisations shared across estimator calls (``live_edge``), the Monte-Carlo
+expected-benefit estimator used by every algorithm (``monte_carlo``) and an
+exact world-enumeration estimator for tiny graphs (``exact``).
+"""
+
+from repro.diffusion.independent_cascade import simulate_independent_cascade
+from repro.diffusion.live_edge import LiveEdgeWorld, sample_worlds
+from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.rr_sets import RRSetSampler, estimate_spread_rr
+from repro.diffusion.sc_cascade import CascadeResult, simulate_sc_cascade
+
+__all__ = [
+    "RRSetSampler",
+    "estimate_spread_rr",
+    "simulate_independent_cascade",
+    "LiveEdgeWorld",
+    "sample_worlds",
+    "BenefitEstimator",
+    "MonteCarloEstimator",
+    "ExactEstimator",
+    "CascadeResult",
+    "simulate_sc_cascade",
+]

@@ -1,0 +1,193 @@
+"""The SC-constrained independent cascade model (Sec. III of the paper).
+
+The propagation starts from the seed set.  Every activated user ``u`` holding
+``k_u`` social coupons attempts to activate her out-neighbours **in decreasing
+order of influence probability** — the order in which, per the paper, a user
+would hand coupons to the friends most likely to redeem them.  An attempt on a
+not-yet-active neighbour ``v`` succeeds with probability ``P(e(u, v))``; on
+success ``v`` is activated, redeems one of ``u``'s coupons, and will later make
+its own attempts.  Once ``k_u`` coupons have been redeemed, ``u`` stops
+attempting (the remaining, lower-probability neighbours can then only be
+reached through other users — the paper's *dependent edges*).  Attempts on
+already-active neighbours neither activate nor consume a coupon, because an
+active user never redeems a second coupon.
+
+Seeds themselves are activated directly (they are "bought" with the seed cost)
+and only spread further if they are also allocated coupons.
+
+:func:`simulate_sc_cascade` runs one stochastic realisation; the Monte-Carlo
+estimator in :mod:`repro.diffusion.monte_carlo` averages many of them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import AllocationError
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import SeedLike, spawn_rng
+
+NodeId = Hashable
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of a single cascade realisation.
+
+    Attributes
+    ----------
+    activated:
+        Every user active at the end of the process (seeds included).
+    redemptions:
+        Edges ``(u, v)`` along which a coupon was actually redeemed, in
+        activation order.
+    coupons_used:
+        Per-user count of coupons redeemed by her friends.
+    """
+
+    activated: Set[NodeId] = field(default_factory=set)
+    redemptions: List[Tuple[NodeId, NodeId]] = field(default_factory=list)
+    coupons_used: Dict[NodeId, int] = field(default_factory=dict)
+
+    def total_benefit(self, graph: SocialGraph) -> float:
+        """Sum of benefits of the activated users."""
+        return sum(graph.benefit(node) for node in self.activated)
+
+    def total_sc_cost(self, graph: SocialGraph) -> float:
+        """Sum of SC costs of the users that redeemed a coupon."""
+        return sum(graph.sc_cost(target) for _, target in self.redemptions)
+
+    @property
+    def num_redemptions(self) -> int:
+        """Number of coupons redeemed in this realisation."""
+        return len(self.redemptions)
+
+
+def validate_allocation(graph: SocialGraph, allocation: Mapping[NodeId, int]) -> None:
+    """Check that an allocation respects the SC-constraint bounds.
+
+    Each entry must be a non-negative integer not exceeding the user's number
+    of friends (out-degree), and every allocated user must exist in the graph.
+    """
+    for node, coupons in allocation.items():
+        if node not in graph:
+            raise AllocationError(f"allocated node {node!r} is not in the graph")
+        if not isinstance(coupons, (int, np.integer)) or isinstance(coupons, bool):
+            raise AllocationError(
+                f"allocation for {node!r} must be an integer, got {coupons!r}"
+            )
+        if coupons < 0:
+            raise AllocationError(f"allocation for {node!r} is negative: {coupons}")
+        if coupons > graph.out_degree(node):
+            raise AllocationError(
+                f"allocation for {node!r} ({coupons}) exceeds its out-degree "
+                f"({graph.out_degree(node)})"
+            )
+
+
+def simulate_sc_cascade(
+    graph: SocialGraph,
+    seeds: Iterable[NodeId],
+    allocation: Mapping[NodeId, int],
+    rng: SeedLike = None,
+    *,
+    validate: bool = True,
+    edge_outcomes: Optional[Mapping[Tuple[NodeId, NodeId], bool]] = None,
+) -> CascadeResult:
+    """Run one realisation of the SC-constrained cascade.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    seeds:
+        Users activated directly at time zero.
+    allocation:
+        Mapping ``user -> number of coupons`` (users absent from the mapping
+        hold zero coupons and therefore never spread influence).
+    rng:
+        Seed or generator for the activation coin flips.  Ignored when
+        ``edge_outcomes`` is given.
+    validate:
+        Whether to check the allocation against the SC-constraint bounds.
+    edge_outcomes:
+        Optional pre-drawn coin flips per edge (a live-edge world).  When
+        provided the simulation is deterministic, which is how the Monte-Carlo
+        estimator shares worlds across deployments (common random numbers).
+
+    Returns
+    -------
+    CascadeResult
+        The activated set, redemption edges and per-user coupon usage.
+    """
+    if validate:
+        validate_allocation(graph, allocation)
+    generator = spawn_rng(rng)
+
+    activated: Set[NodeId] = set()
+    queue: deque = deque()
+    for seed in seeds:
+        if seed in graph and seed not in activated:
+            activated.add(seed)
+            queue.append(seed)
+
+    result = CascadeResult(activated=activated)
+
+    while queue:
+        user = queue.popleft()
+        coupons = int(allocation.get(user, 0))
+        if coupons <= 0:
+            continue
+        redeemed = 0
+        for neighbor, probability in graph.ranked_out_neighbors(user):
+            if redeemed >= coupons:
+                break
+            if neighbor in activated:
+                continue
+            if edge_outcomes is not None:
+                success = bool(edge_outcomes.get((user, neighbor), False))
+            else:
+                success = generator.random() < probability
+            if success:
+                activated.add(neighbor)
+                queue.append(neighbor)
+                result.redemptions.append((user, neighbor))
+                result.coupons_used[user] = result.coupons_used.get(user, 0) + 1
+                redeemed += 1
+    return result
+
+
+def reachable_with_coupons(
+    graph: SocialGraph,
+    seeds: Iterable[NodeId],
+    allocation: Mapping[NodeId, int],
+) -> Set[NodeId]:
+    """Users with a non-zero probability of activation under the deployment.
+
+    This is the optimistic closure: a user is possibly influenced if there is a
+    directed path from a seed in which every intermediate node holds at least
+    one coupon and every traversed edge ranks within the holder's coupon reach
+    (i.e. the edge could be among the first ``k`` successes).  Because any
+    higher-ranked neighbour can fail, every edge of a coupon holder is
+    potentially redeemable, so the closure simply follows out-edges of
+    coupon-holding activated-candidates.
+    """
+    reachable: Set[NodeId] = set()
+    frontier = deque()
+    for seed in seeds:
+        if seed in graph and seed not in reachable:
+            reachable.add(seed)
+            frontier.append(seed)
+    while frontier:
+        user = frontier.popleft()
+        if int(allocation.get(user, 0)) <= 0:
+            continue
+        for neighbor, _ in graph.ranked_out_neighbors(user):
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                frontier.append(neighbor)
+    return reachable

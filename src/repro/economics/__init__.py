@@ -1,0 +1,44 @@
+"""Economic models: costs, benefits, budgets, coupon strategies and adoption.
+
+This subpackage turns a bare topology into an S3CRM *scenario*: every node
+receives a benefit, a seed cost and a social-coupon cost, drawn from the
+distributions the paper's evaluation section specifies, and the investment
+budget constrains the algorithms that run on top.
+"""
+
+from repro.economics.benefits import (
+    assign_gross_margin_benefits,
+    assign_normal_benefits,
+    benefit_cost_ratio,
+)
+from repro.economics.budget import Budget
+from repro.economics.costs import (
+    assign_degree_proportional_seed_costs,
+    assign_uniform_sc_costs,
+    assign_uniform_seed_costs,
+    scale_seed_costs_to_kappa,
+)
+from repro.economics.coupons import (
+    CouponStrategy,
+    LimitedCouponStrategy,
+    UnlimitedCouponStrategy,
+)
+from repro.economics.adoption import AdoptionModel
+from repro.economics.scenario import Scenario, ScenarioBuilder
+
+__all__ = [
+    "assign_gross_margin_benefits",
+    "assign_normal_benefits",
+    "benefit_cost_ratio",
+    "Budget",
+    "assign_degree_proportional_seed_costs",
+    "assign_uniform_sc_costs",
+    "assign_uniform_seed_costs",
+    "scale_seed_costs_to_kappa",
+    "CouponStrategy",
+    "LimitedCouponStrategy",
+    "UnlimitedCouponStrategy",
+    "AdoptionModel",
+    "Scenario",
+    "ScenarioBuilder",
+]

@@ -1,0 +1,99 @@
+"""Coupon adoption model used by the case study (Sec. VI-C).
+
+The paper adopts the stochastic coupon-probing adoption model of Tang [30] to
+decide whether a user accepts a social coupon at all: 85% of users adopt with
+weight ``c_sc^(1/3)``, 10% with weight ``c_sc`` and 5% with weight ``c_sc^2``,
+all normalised by ``c_sc^(1/3) + c_sc + c_sc^2``.  The resulting per-user
+adoption probability multiplies the influence probability of every incoming
+edge, so a user who is unlikely to adopt a coupon is also unlikely to be
+activated through one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import SeedLike, spawn_rng
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class AdoptionSegment:
+    """One segment of the adoption mixture: a population share and an exponent."""
+
+    share: float
+    exponent: float
+
+
+class AdoptionModel:
+    """The 85/10/5 adoption mixture of the case study.
+
+    Parameters
+    ----------
+    segments:
+        The mixture components.  The default reproduces the paper's split:
+        85% of users weighted by ``c_sc^(1/3)``, 10% by ``c_sc`` and 5% by
+        ``c_sc^2``.
+    seed:
+        Random seed controlling which users fall into which segment.
+    """
+
+    DEFAULT_SEGMENTS = (
+        AdoptionSegment(share=0.85, exponent=1.0 / 3.0),
+        AdoptionSegment(share=0.10, exponent=1.0),
+        AdoptionSegment(share=0.05, exponent=2.0),
+    )
+
+    def __init__(self, segments=DEFAULT_SEGMENTS, seed: SeedLike = None) -> None:
+        total_share = sum(segment.share for segment in segments)
+        if abs(total_share - 1.0) > 1e-9:
+            raise ValueError(f"segment shares must sum to 1, got {total_share}")
+        self.segments = tuple(segments)
+        self._rng = spawn_rng(seed)
+
+    def adoption_probabilities(self, graph: SocialGraph) -> Dict[NodeId, float]:
+        """Assign an adoption probability to every user.
+
+        Users are partitioned into the segments uniformly at random in the
+        configured proportions; a user in the segment with exponent ``e`` and
+        SC cost ``c`` adopts with probability
+        ``c^e / (c^(1/3) + c + c^2)`` (clamped to ``[0, 1]``).
+        """
+        nodes = list(graph.nodes())
+        assignment = self._rng.random(len(nodes))
+        cumulative = []
+        running = 0.0
+        for segment in self.segments:
+            running += segment.share
+            cumulative.append(running)
+
+        probabilities: Dict[NodeId, float] = {}
+        for node, draw in zip(nodes, assignment.tolist()):
+            segment = self.segments[-1]
+            for boundary, candidate in zip(cumulative, self.segments):
+                if draw <= boundary:
+                    segment = candidate
+                    break
+            cost = graph.sc_cost(node)
+            if cost <= 0:
+                probabilities[node] = 1.0
+                continue
+            normaliser = cost ** (1.0 / 3.0) + cost + cost**2
+            probabilities[node] = min(1.0, (cost**segment.exponent) / normaliser)
+        return probabilities
+
+    def apply(self, graph: SocialGraph) -> SocialGraph:
+        """Return a copy of ``graph`` with edge probabilities damped by adoption.
+
+        Each edge ``(u, v)`` has its influence probability multiplied by the
+        adoption probability of the *target* ``v`` — the invitee must both be
+        influenced and willing to adopt the coupon.
+        """
+        probabilities = self.adoption_probabilities(graph)
+        damped = graph.copy()
+        for source, target, probability in graph.edges():
+            damped.add_edge(source, target, probability * probabilities[target])
+        return damped

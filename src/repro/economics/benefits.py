@@ -1,0 +1,77 @@
+"""Benefit models.
+
+Two settings from the paper:
+
+* the *normal benefit setting* of the main experiments (Sec. VI-A): each
+  user's benefit is drawn from a normal distribution ``N(mu, sigma)`` with
+  dataset-specific parameters (Table II), truncated at zero, and
+* the *gross-margin setting* of the case study (Sec. VI-C): the benefit is
+  derived from the SC cost and a gross-margin percentage ``gm`` via
+  ``gm = (b - c_sc) / b``, i.e. ``b = c_sc / (1 - gm)``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import require_non_negative, require_positive
+
+
+def assign_normal_benefits(
+    graph: SocialGraph,
+    mean: float,
+    std: float,
+    seed: SeedLike = None,
+    *,
+    minimum: float = 0.0,
+) -> None:
+    """Draw ``b(v) ~ N(mean, std)`` independently per user, truncated at ``minimum``.
+
+    The truncation (default zero) keeps benefits non-negative as the problem
+    definition requires; with the paper's parameters (e.g. µ=10, σ=2) the
+    truncation is almost never active.
+    """
+    require_positive(mean, "mean")
+    require_non_negative(std, "std")
+    require_non_negative(minimum, "minimum")
+    rng = spawn_rng(seed)
+    nodes = list(graph.nodes())
+    samples = rng.normal(mean, std, size=len(nodes))
+    for node, value in zip(nodes, samples.tolist()):
+        graph.add_node(node, benefit=max(minimum, value))
+
+
+def assign_uniform_benefits(graph: SocialGraph, benefit: float) -> None:
+    """Give every user the same benefit (used in toy examples and tests)."""
+    require_non_negative(benefit, "benefit")
+    for node in graph.nodes():
+        graph.add_node(node, benefit=benefit)
+
+
+def assign_gross_margin_benefits(graph: SocialGraph, gross_margin: float) -> None:
+    """Set ``b(v) = c_sc(v) / (1 - gross_margin)``.
+
+    ``gross_margin`` is a fraction in ``[0, 1)``; the paper's Fig. 8 sweeps it
+    between roughly 0.2 and 0.8.  SC costs must already be assigned.
+    """
+    if not 0.0 <= gross_margin < 1.0:
+        raise ValueError(f"gross_margin must be in [0, 1), got {gross_margin!r}")
+    for node in graph.nodes():
+        sc_cost = graph.sc_cost(node)
+        graph.add_node(node, benefit=sc_cost / (1.0 - gross_margin))
+
+
+def benefit_cost_ratio(graph: SocialGraph) -> float:
+    """Return λ = total benefit / total SC cost for the current attributes."""
+    total_sc = graph.total_sc_cost()
+    if total_sc == 0:
+        raise ValueError("total SC cost is zero; lambda is undefined")
+    return graph.total_benefit() / total_sc
+
+
+def seed_cost_benefit_ratio(graph: SocialGraph) -> float:
+    """Return κ = total seed cost / total benefit for the current attributes."""
+    total_benefit = graph.total_benefit()
+    if total_benefit == 0:
+        raise ValueError("total benefit is zero; kappa is undefined")
+    return graph.total_seed_cost() / total_benefit

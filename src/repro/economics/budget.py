@@ -1,0 +1,87 @@
+"""Investment budget accounting.
+
+The budget ``B_inv`` of S3CRM caps the *sum* of seed costs and expected SC
+costs (constraint (1b) of the paper).  :class:`Budget` is a small ledger that
+algorithms use to check feasibility of a candidate investment and to track how
+much has been committed so far; it never mutates the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.exceptions import BudgetError
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class Budget:
+    """Ledger for the investment budget ``B_inv``.
+
+    Parameters
+    ----------
+    limit:
+        The total investment budget.  Must be strictly positive.
+    tolerance:
+        Numerical slack used in feasibility checks: a spend is feasible when
+        ``spent + amount <= limit * (1 + tolerance)``.  The default ``1e-9``
+        only forgives floating-point rounding.
+    """
+
+    limit: float
+    tolerance: float = 1e-9
+    _spent: float = field(default=0.0, init=False, repr=False)
+    _entries: List[Tuple[str, float]] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.limit, "limit")
+
+    @property
+    def spent(self) -> float:
+        """Total amount committed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self.limit - self._spent)
+
+    def can_afford(self, amount: float) -> bool:
+        """Return whether ``amount`` more can be spent without exceeding the limit."""
+        if amount < 0:
+            raise BudgetError(f"spend amount must be >= 0, got {amount!r}")
+        return self._spent + amount <= self.limit * (1.0 + self.tolerance)
+
+    def spend(self, amount: float, label: str = "") -> None:
+        """Commit ``amount``; raises :class:`BudgetError` if it does not fit."""
+        if not self.can_afford(amount):
+            raise BudgetError(
+                f"spending {amount:.6g} exceeds budget: spent={self._spent:.6g}, "
+                f"limit={self.limit:.6g}"
+            )
+        self._spent += amount
+        self._entries.append((label, amount))
+
+    def refund(self, amount: float, label: str = "") -> None:
+        """Return ``amount`` to the budget (e.g. after an SC maneuver retrieval)."""
+        if amount < 0:
+            raise BudgetError(f"refund amount must be >= 0, got {amount!r}")
+        self._spent = max(0.0, self._spent - amount)
+        self._entries.append((label, -amount))
+
+    def entries(self) -> List[Tuple[str, float]]:
+        """The ledger of (label, signed amount) entries, in order."""
+        return list(self._entries)
+
+    def reset(self) -> None:
+        """Clear all spending."""
+        self._spent = 0.0
+        self._entries.clear()
+
+    def copy(self) -> "Budget":
+        """Return an independent copy with the same limit and spending."""
+        clone = Budget(self.limit, self.tolerance)
+        clone._spent = self._spent
+        clone._entries = list(self._entries)
+        return clone

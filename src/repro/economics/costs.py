@@ -1,0 +1,91 @@
+"""Seed-cost and social-coupon-cost models.
+
+The paper's evaluation (Sec. VI-A) uses two cost conventions:
+
+* the seed cost of a user is proportional to the number of her friends
+  (out-degree), following the PM literature [17], and
+* the SC cost is uniform across users, following the real coupon programs of
+  Dropbox and Hotels.com.
+
+The κ knob (ratio of total seed cost to total benefit) is implemented by
+rescaling seed costs after benefits are assigned
+(:func:`scale_seed_costs_to_kappa`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.validation import require_non_negative, require_positive
+
+NodeId = Hashable
+
+
+def assign_degree_proportional_seed_costs(
+    graph: SocialGraph,
+    *,
+    cost_per_friend: float = 1.0,
+    minimum_cost: float = 1.0,
+) -> None:
+    """Set ``c_seed(v) = max(minimum_cost, cost_per_friend * out_degree(v))``.
+
+    The out-degree is the number of friends the user can refer, which the PM
+    literature uses as a proxy for how expensive the user is to recruit.
+    """
+    require_non_negative(cost_per_friend, "cost_per_friend")
+    require_non_negative(minimum_cost, "minimum_cost")
+    for node in graph.nodes():
+        cost = max(minimum_cost, cost_per_friend * graph.out_degree(node))
+        graph.add_node(node, seed_cost=cost)
+
+
+def assign_uniform_seed_costs(graph: SocialGraph, cost: float) -> None:
+    """Set the same seed cost for every user."""
+    require_non_negative(cost, "cost")
+    for node in graph.nodes():
+        graph.add_node(node, seed_cost=cost)
+
+
+def assign_uniform_sc_costs(graph: SocialGraph, cost: float) -> None:
+    """Set the same social-coupon cost for every user (Dropbox/Hotels.com style)."""
+    require_non_negative(cost, "cost")
+    for node in graph.nodes():
+        graph.add_node(node, sc_cost=cost)
+
+
+def scale_seed_costs_to_kappa(graph: SocialGraph, kappa: float) -> None:
+    """Rescale seed costs so that ``sum(c_seed) / sum(b) == kappa``.
+
+    ``kappa`` is the κ knob of Fig. 7(e)-(f).  Benefits must already be
+    assigned and have a positive total; current seed costs define the relative
+    profile (degree-proportional by default) and are scaled uniformly.
+    """
+    require_positive(kappa, "kappa")
+    total_benefit = graph.total_benefit()
+    if total_benefit <= 0:
+        raise ValueError("cannot scale to kappa: total benefit is zero")
+    total_seed_cost = graph.total_seed_cost()
+    if total_seed_cost <= 0:
+        raise ValueError("cannot scale to kappa: total seed cost is zero")
+    factor = kappa * total_benefit / total_seed_cost
+    for node in graph.nodes():
+        graph.add_node(node, seed_cost=graph.seed_cost(node) * factor)
+
+
+def scale_sc_costs_to_lambda(graph: SocialGraph, lam: float) -> None:
+    """Rescale SC costs so that ``sum(b) / sum(c_sc) == lam``.
+
+    ``lam`` is the λ knob of Fig. 6(c)-(d) and Fig. 7(c)-(d).  Benefits must
+    already be assigned with a positive total.
+    """
+    require_positive(lam, "lam")
+    total_benefit = graph.total_benefit()
+    if total_benefit <= 0:
+        raise ValueError("cannot scale to lambda: total benefit is zero")
+    total_sc_cost = graph.total_sc_cost()
+    if total_sc_cost <= 0:
+        raise ValueError("cannot scale to lambda: total SC cost is zero")
+    factor = (total_benefit / lam) / total_sc_cost
+    for node in graph.nodes():
+        graph.add_node(node, sc_cost=graph.sc_cost(node) * factor)

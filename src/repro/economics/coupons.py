@@ -1,0 +1,81 @@
+"""Real-world coupon strategies.
+
+The paper treats two deployed coupon policies as special cases of S3CRM
+(Sec. III) and as the allocation rule attached to the IM/PM baselines in the
+evaluation (Sec. VI-A):
+
+* **Limited coupon strategy** (Dropbox, Airbnb, Booking.com): every user may
+  hand out at most a fixed constant number of coupons, ``k_i = k`` — Dropbox's
+  32 in the paper's default.
+* **Unlimited coupon strategy** (Uber, Lyft, Hotels.com): every user may refer
+  all of her friends, ``k_i = |N(v_i)|``, so the propagation model reduces to
+  the plain independent cascade.
+
+A strategy is a callable object mapping a graph and a set of users to an
+allocation dictionary ``{node: k}``; the baselines apply it to every node the
+selected seeds can reach.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Iterable
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.validation import require_non_negative
+
+NodeId = Hashable
+
+
+class CouponStrategy(ABC):
+    """Rule assigning an SC constraint ``k_i`` to each selected user."""
+
+    @abstractmethod
+    def allocation_for(self, graph: SocialGraph, node: NodeId) -> int:
+        """Number of coupons given to ``node``."""
+
+    def allocate(self, graph: SocialGraph, nodes: Iterable[NodeId]) -> Dict[NodeId, int]:
+        """Allocation dictionary for all ``nodes`` (zero entries are dropped)."""
+        allocation: Dict[NodeId, int] = {}
+        for node in nodes:
+            count = self.allocation_for(graph, node)
+            if count > 0:
+                allocation[node] = count
+        return allocation
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in experiment reports (e.g. ``"limited"``)."""
+
+
+class LimitedCouponStrategy(CouponStrategy):
+    """Constant per-user coupon cap, truncated to the user's out-degree."""
+
+    def __init__(self, coupons_per_user: int = 32) -> None:
+        require_non_negative(coupons_per_user, "coupons_per_user")
+        self.coupons_per_user = int(coupons_per_user)
+
+    def allocation_for(self, graph: SocialGraph, node: NodeId) -> int:
+        return min(self.coupons_per_user, graph.out_degree(node))
+
+    @property
+    def name(self) -> str:
+        return f"limited({self.coupons_per_user})"
+
+    def __repr__(self) -> str:
+        return f"LimitedCouponStrategy(coupons_per_user={self.coupons_per_user})"
+
+
+class UnlimitedCouponStrategy(CouponStrategy):
+    """Every user may refer all friends; reduces the model to the plain IC."""
+
+    def allocation_for(self, graph: SocialGraph, node: NodeId) -> int:
+        return graph.out_degree(node)
+
+    @property
+    def name(self) -> str:
+        return "unlimited"
+
+    def __repr__(self) -> str:
+        return "UnlimitedCouponStrategy()"

@@ -1,0 +1,204 @@
+"""Scenario: the complete input of an S3CRM instance.
+
+A :class:`Scenario` bundles the graph (with its economic attributes already
+attached), the investment budget and a human-readable name.  It is the object
+the algorithms (:mod:`repro.core`, :mod:`repro.baselines`) and the experiment
+harness exchange.
+
+:class:`ScenarioBuilder` provides the fluent construction path used by the
+experiment harness and examples:
+
+>>> from repro.graph.generators import power_law_graph
+>>> scenario = (
+...     ScenarioBuilder(power_law_graph(200, 4, seed=1), name="demo")
+...     .with_normal_benefits(mean=10, std=2, seed=1)
+...     .with_uniform_sc_costs(10.0)
+...     .with_degree_proportional_seed_costs()
+...     .with_lambda(1.0)
+...     .with_kappa(10.0)
+...     .with_budget(500.0)
+...     .build()
+... )
+>>> scenario.budget_limit
+500.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.economics.benefits import (
+    assign_gross_margin_benefits,
+    assign_normal_benefits,
+    assign_uniform_benefits,
+    benefit_cost_ratio,
+    seed_cost_benefit_ratio,
+)
+from repro.economics.budget import Budget
+from repro.economics.costs import (
+    assign_degree_proportional_seed_costs,
+    assign_uniform_sc_costs,
+    assign_uniform_seed_costs,
+    scale_sc_costs_to_lambda,
+    scale_seed_costs_to_kappa,
+)
+from repro.exceptions import ScenarioError
+from repro.graph.social_graph import SocialGraph
+from repro.utils.validation import require_positive
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An immutable S3CRM problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The social graph with benefits, seed costs and SC costs attached.
+    budget_limit:
+        The investment budget ``B_inv``.
+    name:
+        Identifier used in experiment reports.
+    """
+
+    graph: SocialGraph
+    budget_limit: float
+    name: str = "scenario"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive(self.budget_limit, "budget_limit")
+        if self.graph.num_nodes == 0:
+            raise ScenarioError("scenario graph has no nodes")
+
+    def budget(self) -> Budget:
+        """Return a fresh :class:`Budget` ledger for this scenario."""
+        return Budget(self.budget_limit)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of users."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed relationships."""
+        return self.graph.num_edges
+
+    def lam(self) -> float:
+        """Current λ = total benefit / total SC cost."""
+        return benefit_cost_ratio(self.graph)
+
+    def kappa(self) -> float:
+        """Current κ = total seed cost / total benefit."""
+        return seed_cost_benefit_ratio(self.graph)
+
+    def describe(self) -> str:
+        """One-line description used by the reporting module."""
+        return (
+            f"{self.name}: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"B_inv={self.budget_limit:g}"
+        )
+
+
+class ScenarioBuilder:
+    """Fluent builder attaching economics to a topology step by step.
+
+    Each ``with_*`` method mutates the graph copy held by the builder and
+    returns ``self`` so calls can be chained.  ``build`` validates that every
+    node ended up with a benefit and both costs, and that a budget was set.
+    """
+
+    def __init__(self, graph: SocialGraph, name: str = "scenario") -> None:
+        self._graph = graph.copy()
+        self._name = name
+        self._budget: Optional[float] = None
+        self._metadata: dict = {}
+
+    # -- benefits ----------------------------------------------------------
+
+    def with_normal_benefits(
+        self, mean: float, std: float, seed=None
+    ) -> "ScenarioBuilder":
+        """Draw benefits from ``N(mean, std)`` truncated at zero."""
+        assign_normal_benefits(self._graph, mean, std, seed=seed)
+        return self
+
+    def with_uniform_benefits(self, benefit: float) -> "ScenarioBuilder":
+        """Give every user the same benefit."""
+        assign_uniform_benefits(self._graph, benefit)
+        return self
+
+    def with_gross_margin_benefits(self, gross_margin: float) -> "ScenarioBuilder":
+        """Derive benefits from SC costs and a gross margin (case study)."""
+        assign_gross_margin_benefits(self._graph, gross_margin)
+        return self
+
+    # -- costs ---------------------------------------------------------------
+
+    def with_degree_proportional_seed_costs(
+        self, cost_per_friend: float = 1.0, minimum_cost: float = 1.0
+    ) -> "ScenarioBuilder":
+        """Seed cost proportional to out-degree."""
+        assign_degree_proportional_seed_costs(
+            self._graph, cost_per_friend=cost_per_friend, minimum_cost=minimum_cost
+        )
+        return self
+
+    def with_uniform_seed_costs(self, cost: float) -> "ScenarioBuilder":
+        """Same seed cost for every user."""
+        assign_uniform_seed_costs(self._graph, cost)
+        return self
+
+    def with_uniform_sc_costs(self, cost: float) -> "ScenarioBuilder":
+        """Same SC cost for every user."""
+        assign_uniform_sc_costs(self._graph, cost)
+        return self
+
+    # -- ratio knobs ---------------------------------------------------------
+
+    def with_lambda(self, lam: float) -> "ScenarioBuilder":
+        """Rescale SC costs so total benefit / total SC cost equals ``lam``."""
+        scale_sc_costs_to_lambda(self._graph, lam)
+        self._metadata["lambda"] = lam
+        return self
+
+    def with_kappa(self, kappa: float) -> "ScenarioBuilder":
+        """Rescale seed costs so total seed cost / total benefit equals ``kappa``."""
+        scale_seed_costs_to_kappa(self._graph, kappa)
+        self._metadata["kappa"] = kappa
+        return self
+
+    # -- budget / metadata ----------------------------------------------------
+
+    def with_budget(self, budget: float) -> "ScenarioBuilder":
+        """Set the investment budget ``B_inv``."""
+        require_positive(budget, "budget")
+        self._budget = budget
+        return self
+
+    def with_metadata(self, **metadata) -> "ScenarioBuilder":
+        """Attach arbitrary metadata carried through to reports."""
+        self._metadata.update(metadata)
+        return self
+
+    # -- finalisation -----------------------------------------------------------
+
+    def build(self) -> Scenario:
+        """Validate and return the immutable :class:`Scenario`."""
+        if self._budget is None:
+            raise ScenarioError("a budget must be set before build()")
+        missing_benefit = all(
+            self._graph.benefit(node) == 0.0 for node in self._graph.nodes()
+        )
+        if missing_benefit:
+            raise ScenarioError("no node has a positive benefit; assign benefits first")
+        return Scenario(
+            graph=self._graph,
+            budget_limit=self._budget,
+            name=self._name,
+            metadata=dict(self._metadata),
+        )

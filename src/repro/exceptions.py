@@ -1,0 +1,59 @@
+"""Exception hierarchy for the S3CRM reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  The concrete subclasses mirror the main failure
+modes of the system: malformed graphs, infeasible economic configurations,
+budget violations and invalid coupon allocations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised when a social graph is malformed or an operation references
+    nodes/edges that do not exist."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario (graph + economics) is inconsistent, e.g. a node
+    is missing a benefit or a cost."""
+
+
+class BudgetError(ReproError):
+    """Raised when a deployment would exceed the investment budget, or the
+    budget itself is invalid (non-positive)."""
+
+
+class AllocationError(ReproError):
+    """Raised when a social-coupon allocation is invalid, e.g. a negative
+    coupon count or more coupons than out-neighbours."""
+
+
+class EstimationError(ReproError):
+    """Raised when an expected-benefit estimator is configured incorrectly
+    (e.g. zero Monte-Carlo samples) or asked to evaluate an invalid input."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

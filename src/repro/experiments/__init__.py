@@ -1,0 +1,43 @@
+"""Experiment harness reproducing Section VI of the paper.
+
+Modules map one-to-one onto the paper's artifacts:
+
+* :mod:`repro.experiments.datasets` — Table II (synthetic stand-ins).
+* :mod:`repro.experiments.sweeps` — Fig. 6, Fig. 7 and Table IV parameter sweeps.
+* :mod:`repro.experiments.case_study` — Fig. 8 (Airbnb / Booking policies).
+* :mod:`repro.experiments.scalability` — Fig. 9 (size and budget scaling).
+* :mod:`repro.experiments.approximation` — Fig. 10 (S3CA vs OPT vs bound).
+* :mod:`repro.experiments.metrics` / ``runner`` / ``reporting`` — shared
+  measurement, execution and table-formatting machinery.
+"""
+
+from repro.experiments.config import AlgorithmSpec, ExperimentConfig
+from repro.experiments.datasets import (
+    DATASET_SPECS,
+    build_scenario,
+    named_dataset,
+    toy_scenario,
+)
+from repro.experiments.metrics import (
+    average_farthest_hop,
+    explored_ratio,
+    seed_sc_rate,
+)
+from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentConfig",
+    "DATASET_SPECS",
+    "build_scenario",
+    "named_dataset",
+    "toy_scenario",
+    "average_farthest_hop",
+    "explored_ratio",
+    "seed_sc_rate",
+    "ExperimentRunner",
+    "RunRecord",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,63 @@
+"""Experiment configuration objects.
+
+The benchmark scripts declare what to run through two small dataclasses:
+:class:`AlgorithmSpec` (which algorithm, with which knobs) and
+:class:`ExperimentConfig` (which dataset, budget, ratios, sample counts and
+random seed).  Keeping them declarative makes the per-figure benchmark files
+short and lets tests exercise the harness with tiny settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Declarative description of one algorithm to compare.
+
+    ``factory`` receives ``(scenario, estimator, seed)`` and returns an object
+    with a ``run()`` method producing either an
+    :class:`~repro.baselines.base.AlgorithmResult` or an
+    :class:`~repro.core.s3ca.S3CAResult`.
+    """
+
+    name: str
+    factory: Callable
+    options: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of one experimental condition."""
+
+    dataset: str = "facebook"
+    scale: float = 1.0
+    budget: Optional[float] = None
+    lam: float = 1.0
+    kappa: float = 10.0
+    num_samples: int = 100
+    repetitions: int = 3
+    seed: int = 2019
+    candidate_limit: Optional[int] = 25
+    max_pivot_candidates: Optional[int] = 150
+    limited_coupons: int = 32
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ExperimentError(f"scale must be > 0, got {self.scale}")
+        if self.num_samples <= 0:
+            raise ExperimentError(f"num_samples must be > 0, got {self.num_samples}")
+        if self.repetitions <= 0:
+            raise ExperimentError(f"repetitions must be > 0, got {self.repetitions}")
+        if self.lam <= 0 or self.kappa <= 0:
+            raise ExperimentError("lam and kappa must be > 0")
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """Return a copy with some fields replaced."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)

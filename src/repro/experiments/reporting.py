@@ -1,0 +1,117 @@
+"""Plain-text reporting matching the paper's tables and figure series.
+
+The benchmark harness prints its results as aligned text tables (one per
+paper artifact) so ``pytest benchmarks/ --benchmark-only`` output can be
+compared side by side with the paper.  CSV export is provided for users who
+want to re-plot the figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format dictionaries as an aligned text table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Floats are formatted with ``float_format``; other values with ``str``.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    *,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format ``{algorithm: {x: y}}`` as one table with an ``x`` column.
+
+    This is the shape of every figure in the paper: one curve per algorithm
+    over a swept parameter.
+    """
+    xs: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    try:
+        xs.sort()
+    except TypeError:
+        pass
+    rows = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            if x in values:
+                row[name] = values[x]
+        rows.append(row)
+    columns = [x_label] + list(series.keys())
+    return format_table(rows, columns, title=title, float_format=float_format)
+
+
+def to_csv(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (columns default to the first row's keys)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def records_to_rows(records: Iterable, metrics: Sequence[str]) -> List[Dict[str, object]]:
+    """Convert :class:`~repro.experiments.runner.RunRecord` objects to table rows."""
+    rows = []
+    for record in records:
+        row: Dict[str, object] = {
+            "algorithm": record.algorithm,
+            "scenario": record.scenario,
+        }
+        for metric in metrics:
+            row[metric] = record.get(metric)
+        rows.append(row)
+    return rows

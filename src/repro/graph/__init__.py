@@ -1,0 +1,60 @@
+"""Online-social-network graph substrate.
+
+The graph subpackage provides the weighted directed graph that every other
+layer of the library builds on: per-node economic attributes, influence
+probabilities on edges, adjacency lists pre-sorted by influence probability
+(the order in which social coupons are handed out), synthetic generators
+standing in for the SNAP datasets of the paper, and persistence helpers.
+"""
+
+from repro.graph.attributes import NodeAttributes
+from repro.graph.social_graph import SocialGraph
+from repro.graph.generators import (
+    GraphSpec,
+    erdos_renyi_graph,
+    path_graph,
+    power_law_graph,
+    ppgg_like_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graph.io import (
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    degree_histogram,
+    farthest_hop_from,
+    reachable_set,
+)
+from repro.graph.sampling import (
+    forest_fire_sample,
+    random_node_sample,
+    snowball_sample,
+)
+
+__all__ = [
+    "forest_fire_sample",
+    "random_node_sample",
+    "snowball_sample",
+    "NodeAttributes",
+    "SocialGraph",
+    "GraphSpec",
+    "erdos_renyi_graph",
+    "path_graph",
+    "power_law_graph",
+    "ppgg_like_graph",
+    "star_graph",
+    "tree_graph",
+    "load_edge_list",
+    "load_json",
+    "save_edge_list",
+    "save_json",
+    "average_clustering_coefficient",
+    "degree_histogram",
+    "farthest_hop_from",
+    "reachable_set",
+]

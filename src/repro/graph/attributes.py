@@ -1,0 +1,73 @@
+"""Per-node economic attributes of the S3CRM problem.
+
+Each user of the OSN carries three quantities (Sec. III of the paper):
+
+* ``benefit`` ``b(v)`` — the expected benefit gained if the user is activated,
+* ``seed_cost`` ``c_seed(v)`` — the cost of activating the user directly as a
+  seed,
+* ``sc_cost`` ``c_sc(v)`` — the cost of the social coupon redeemed when the
+  user is activated through a friend's referral.
+
+The SC constraint ``k_i`` (how many coupons the user may hand out) is *not*
+part of the static attributes: it is the decision variable of the problem and
+lives in :class:`repro.core.allocation.SCAllocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class NodeAttributes:
+    """Immutable economic attributes of a single user.
+
+    Parameters
+    ----------
+    benefit:
+        Expected benefit ``b(v)`` obtained if the user is activated.
+    seed_cost:
+        Cost ``c_seed(v)`` of directly selecting the user as a seed.
+    sc_cost:
+        Cost ``c_sc(v)`` of the social coupon redeemed by this user.
+    """
+
+    benefit: float = 0.0
+    seed_cost: float = 0.0
+    sc_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.benefit, "benefit")
+        require_non_negative(self.seed_cost, "seed_cost")
+        require_non_negative(self.sc_cost, "sc_cost")
+
+    def with_benefit(self, benefit: float) -> "NodeAttributes":
+        """Return a copy with the benefit replaced."""
+        return replace(self, benefit=benefit)
+
+    def with_seed_cost(self, seed_cost: float) -> "NodeAttributes":
+        """Return a copy with the seed cost replaced."""
+        return replace(self, seed_cost=seed_cost)
+
+    def with_sc_cost(self, sc_cost: float) -> "NodeAttributes":
+        """Return a copy with the SC cost replaced."""
+        return replace(self, sc_cost=sc_cost)
+
+    def as_dict(self) -> dict:
+        """Serialise to a plain dictionary (used by :mod:`repro.graph.io`)."""
+        return {
+            "benefit": self.benefit,
+            "seed_cost": self.seed_cost,
+            "sc_cost": self.sc_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeAttributes":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            benefit=float(data.get("benefit", 0.0)),
+            seed_cost=float(data.get("seed_cost", 0.0)),
+            sc_cost=float(data.get("sc_cost", 0.0)),
+        )

@@ -1,0 +1,253 @@
+"""Synthetic OSN generators.
+
+The paper evaluates on four SNAP/Douban datasets (Table II) and, for the
+scalability and optimality studies, on synthetic graphs produced by the
+pattern-preserving generator PPGG [32].  Neither the raw datasets nor PPGG are
+redistributable here, so this module provides deterministic generators that
+reproduce the two structural properties the evaluation depends on:
+
+* heavy-tailed (power-law) degree distributions with a controllable exponent
+  ``eta`` — this is what makes seed cost (proportional to out-degree) and
+  influence probability (``1/in-degree``) heterogeneous, and
+* a controllable clustering level for "Facebook-like" graphs, obtained through
+  a triangle-closing step (:func:`ppgg_like_graph`).
+
+All generators return a :class:`~repro.graph.social_graph.SocialGraph` whose
+edge probabilities are already set to ``1/in-degree`` (the paper's default);
+economic attributes are attached later by :mod:`repro.economics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import require_positive, require_probability
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Declarative description of a synthetic graph.
+
+    Used by :mod:`repro.experiments.datasets` to describe the four named
+    datasets once and build them lazily.
+    """
+
+    name: str
+    num_nodes: int
+    avg_out_degree: float
+    power_law_exponent: float = 2.1
+    clustering: float = 0.1
+    seed: int = 0
+
+    def build(self) -> SocialGraph:
+        """Materialise the graph described by this spec."""
+        return ppgg_like_graph(
+            num_nodes=self.num_nodes,
+            avg_out_degree=self.avg_out_degree,
+            power_law_exponent=self.power_law_exponent,
+            clustering=self.clustering,
+            seed=self.seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# basic deterministic topologies (used heavily in tests and examples)
+# ----------------------------------------------------------------------
+
+
+def path_graph(num_nodes: int, probability: float = 0.5) -> SocialGraph:
+    """A directed path ``0 -> 1 -> ... -> n-1`` with uniform edge probability."""
+    require_positive(num_nodes, "num_nodes")
+    require_probability(probability, "probability")
+    graph = SocialGraph()
+    graph.add_node(0)
+    for node in range(1, num_nodes):
+        graph.add_edge(node - 1, node, probability)
+    return graph
+
+
+def star_graph(num_leaves: int, probability: float = 0.5) -> SocialGraph:
+    """A star with centre ``0`` pointing to leaves ``1..num_leaves``."""
+    require_positive(num_leaves, "num_leaves")
+    require_probability(probability, "probability")
+    graph = SocialGraph()
+    graph.add_node(0)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf, probability)
+    return graph
+
+
+def tree_graph(
+    branching: int, depth: int, probability: float = 0.5
+) -> SocialGraph:
+    """A complete directed tree rooted at node ``0``.
+
+    Node ids follow breadth-first order, so node ``0`` is the root and the
+    children of node ``i`` are ``branching*i + 1 .. branching*i + branching``.
+    """
+    require_positive(branching, "branching")
+    require_probability(probability, "probability")
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    graph = SocialGraph()
+    graph.add_node(0)
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        next_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id, probability)
+                next_frontier.append(next_id)
+                next_id += 1
+        frontier = next_frontier
+    return graph
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: SeedLike = None,
+    *,
+    reciprocal_in_degree: bool = True,
+) -> SocialGraph:
+    """A directed Erdős–Rényi graph ``G(n, p)``.
+
+    Each ordered pair ``(u, v)``, ``u != v``, receives an edge independently
+    with probability ``edge_probability``.  Edge influence probabilities are
+    either ``1/in-degree`` (default) or uniform at 0.1.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_probability(edge_probability, "edge_probability")
+    rng = spawn_rng(seed)
+    graph = SocialGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    if edge_probability > 0:
+        mask = rng.random((num_nodes, num_nodes)) < edge_probability
+        np.fill_diagonal(mask, False)
+        sources, targets = np.nonzero(mask)
+        for source, target in zip(sources.tolist(), targets.tolist()):
+            graph.add_edge(source, target, 0.1)
+    if reciprocal_in_degree:
+        graph.assign_reciprocal_in_degree_probabilities()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# power-law / PPGG-like generators
+# ----------------------------------------------------------------------
+
+
+def power_law_graph(
+    num_nodes: int,
+    avg_out_degree: float,
+    exponent: float = 2.1,
+    seed: SeedLike = None,
+    *,
+    reciprocal_in_degree: bool = True,
+) -> SocialGraph:
+    """A directed graph with power-law out-degrees (configuration-style).
+
+    Out-degrees are drawn from a discrete power-law with exponent ``exponent``
+    (larger exponent = lighter tail), then rescaled so that the average
+    out-degree is approximately ``avg_out_degree``.  Targets of each node are
+    sampled preferentially (proportionally to an independent popularity score
+    that is itself power-law distributed), which produces heavy-tailed
+    in-degrees as well — the property the ``1/in-degree`` probability model
+    depends on.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_positive(avg_out_degree, "avg_out_degree")
+    require_positive(exponent, "exponent")
+    rng = spawn_rng(seed)
+
+    out_degrees = _power_law_degrees(num_nodes, avg_out_degree, exponent, rng)
+    popularity = _power_law_degrees(num_nodes, avg_out_degree, exponent, rng)
+    popularity = popularity.astype(float) + 1.0
+    popularity /= popularity.sum()
+
+    graph = SocialGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+
+    node_ids = np.arange(num_nodes)
+    for source in range(num_nodes):
+        degree = int(min(out_degrees[source], num_nodes - 1))
+        if degree <= 0:
+            continue
+        targets = rng.choice(node_ids, size=degree, replace=False, p=popularity)
+        for target in targets.tolist():
+            if target != source:
+                graph.add_edge(source, int(target), 0.1)
+    if reciprocal_in_degree:
+        graph.assign_reciprocal_in_degree_probabilities()
+    return graph
+
+
+def ppgg_like_graph(
+    num_nodes: int,
+    avg_out_degree: float,
+    power_law_exponent: float = 1.7,
+    clustering: float = 0.3,
+    seed: SeedLike = None,
+    *,
+    reciprocal_in_degree: bool = True,
+) -> SocialGraph:
+    """A clustered power-law graph standing in for the PPGG generator [32].
+
+    The construction is a power-law configuration graph followed by a
+    triangle-closing pass: for a ``clustering`` fraction of length-two directed
+    paths ``u -> v -> w`` the closing edge ``u -> w`` is added.  This raises
+    the (directed) clustering coefficient roughly proportionally to the
+    requested level, giving a Facebook-like local structure, while keeping the
+    degree tail governed by ``power_law_exponent`` — the two knobs the paper
+    reports for its PPGG inputs (clustering 0.6394, η ∈ {1.7, 2.5}).
+    """
+    require_probability(clustering, "clustering")
+    base = power_law_graph(
+        num_nodes,
+        avg_out_degree,
+        exponent=power_law_exponent,
+        seed=seed,
+        reciprocal_in_degree=False,
+    )
+    rng = spawn_rng(seed if not isinstance(seed, np.random.Generator) else seed)
+    if clustering > 0:
+        closures = []
+        for u in base.nodes():
+            for v in base.out_neighbors(u):
+                for w in base.out_neighbors(v):
+                    if w != u and not base.has_edge(u, w):
+                        closures.append((u, w))
+        if closures:
+            count = int(round(clustering * len(closures)))
+            if count > 0:
+                chosen = rng.choice(len(closures), size=min(count, len(closures)),
+                                    replace=False)
+                for index in np.atleast_1d(chosen).tolist():
+                    u, w = closures[int(index)]
+                    if not base.has_edge(u, w):
+                        base.add_edge(u, w, 0.1)
+    if reciprocal_in_degree:
+        base.assign_reciprocal_in_degree_probabilities()
+    return base
+
+
+def _power_law_degrees(
+    num_nodes: int,
+    avg_degree: float,
+    exponent: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw integer degrees from a discrete power law rescaled to ``avg_degree``."""
+    # Pareto samples have tail index `exponent - 1`; shift so minimum is 1.
+    raw = rng.pareto(max(exponent - 1.0, 0.1), size=num_nodes) + 1.0
+    scaled = raw * (avg_degree / raw.mean())
+    degrees = np.maximum(np.round(scaled), 1).astype(int)
+    return np.minimum(degrees, num_nodes - 1)

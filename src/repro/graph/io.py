@@ -1,0 +1,99 @@
+"""Graph persistence.
+
+Two formats are supported:
+
+* a SNAP-style whitespace edge list (``source target [probability]`` per
+  line, ``#`` comments allowed) — enough to load the public datasets the paper
+  uses if the user has them locally, and
+* a self-contained JSON format that also stores the per-node economic
+  attributes, used by the experiment harness to cache generated scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.attributes import NodeAttributes
+from repro.graph.social_graph import SocialGraph
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
+    """Write ``graph`` as a whitespace edge list with probabilities."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# source target probability\n")
+        for source, target, probability in graph.edges():
+            handle.write(f"{source} {target} {probability}\n")
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+) -> SocialGraph:
+    """Read a whitespace edge list.
+
+    Lines starting with ``#`` are ignored.  Node identifiers are read as
+    integers when possible and kept as strings otherwise.  If a line has no
+    third column the edge receives ``default_probability``; passing
+    ``reciprocal_in_degree=True`` recomputes all probabilities as
+    ``1/in-degree`` after loading (the paper's standard setting).
+    """
+    path = Path(path)
+    graph = SocialGraph()
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected 'source target [prob]', got {stripped!r}"
+                )
+            source = _parse_node(parts[0])
+            target = _parse_node(parts[1])
+            probability = float(parts[2]) if len(parts) > 2 else default_probability
+            graph.add_edge(source, target, probability)
+    if reciprocal_in_degree:
+        graph.assign_reciprocal_in_degree_probabilities()
+    return graph
+
+
+def save_json(graph: SocialGraph, path: PathLike) -> None:
+    """Write ``graph`` (topology + attributes) to a JSON document."""
+    payload = {
+        "nodes": [
+            {"id": node, **graph.attributes(node).as_dict()} for node in graph.nodes()
+        ],
+        "edges": [
+            {"source": source, "target": target, "probability": probability}
+            for source, target, probability in graph.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    graph = SocialGraph()
+    for record in payload.get("nodes", []):
+        node = record["id"]
+        graph.add_node(node, NodeAttributes.from_dict(record))
+    for record in payload.get("edges", []):
+        graph.add_edge(record["source"], record["target"], float(record["probability"]))
+    return graph
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,129 @@
+"""Structural graph metrics used by the experiments.
+
+These are deliberately dependency-free implementations operating directly on
+:class:`~repro.graph.social_graph.SocialGraph`: degree histograms and the
+clustering coefficient characterise generated datasets (Table II stand-ins),
+and :func:`farthest_hop_from` supports the "average farthest hop from seeds"
+metric of Table III.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set
+
+from repro.graph.social_graph import SocialGraph
+
+NodeId = Hashable
+
+
+def degree_histogram(graph: SocialGraph, *, direction: str = "out") -> Dict[int, int]:
+    """Histogram mapping degree -> number of nodes with that degree.
+
+    ``direction`` is ``"out"`` or ``"in"``.
+    """
+    if direction not in {"out", "in"}:
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    histogram: Dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.out_degree(node) if direction == "out" else graph.in_degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def average_clustering_coefficient(graph: SocialGraph) -> float:
+    """Average directed clustering coefficient.
+
+    For each node the coefficient is the fraction of ordered pairs of distinct
+    out-neighbours ``(v, w)`` for which the edge ``v -> w`` exists.  Nodes with
+    fewer than two out-neighbours contribute zero, matching the convention of
+    the PPGG paper's reported coefficient.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    total = 0.0
+    for node in graph.nodes():
+        neighbors = list(graph.out_neighbors(node))
+        if len(neighbors) < 2:
+            continue
+        closed = 0
+        possible = len(neighbors) * (len(neighbors) - 1)
+        for v in neighbors:
+            for w in neighbors:
+                if v != w and graph.has_edge(v, w):
+                    closed += 1
+        total += closed / possible
+    return total / graph.num_nodes
+
+
+def reachable_set(graph: SocialGraph, sources: Iterable[NodeId]) -> Set[NodeId]:
+    """All nodes reachable from ``sources`` following directed edges."""
+    visited: Set[NodeId] = set()
+    frontier = deque()
+    for source in sources:
+        if source not in visited and source in graph:
+            visited.add(source)
+            frontier.append(source)
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.out_neighbors(node):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    return visited
+
+
+def farthest_hop_from(
+    graph: SocialGraph,
+    sources: Iterable[NodeId],
+    *,
+    restrict_to: Iterable[NodeId] | None = None,
+) -> int:
+    """Largest BFS distance from ``sources`` to any reachable node.
+
+    ``restrict_to`` limits both traversal and the maximum to a subset of nodes
+    (the experiment harness passes the activated set so the metric matches the
+    paper's "average farthest hop from seeds *within the influence spread*").
+    Returns 0 when no node beyond the sources is reachable.
+    """
+    allowed = set(restrict_to) if restrict_to is not None else None
+    distances: Dict[NodeId, int] = {}
+    frontier: deque = deque()
+    for source in sources:
+        if source in graph and (allowed is None or source in allowed):
+            distances[source] = 0
+            frontier.append(source)
+    farthest = 0
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.out_neighbors(node):
+            if allowed is not None and neighbor not in allowed:
+                continue
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                farthest = max(farthest, distances[neighbor])
+                frontier.append(neighbor)
+    return farthest
+
+
+def connected_component_sizes(graph: SocialGraph) -> List[int]:
+    """Sizes of weakly connected components, largest first."""
+    seen: Set[NodeId] = set()
+    sizes: List[int] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        size = 0
+        frontier = deque([start])
+        seen.add(start)
+        while frontier:
+            node = frontier.popleft()
+            size += 1
+            for neighbor in list(graph.out_neighbors(node)) + list(
+                graph.in_neighbors(node)
+            ):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)

@@ -1,0 +1,20 @@
+"""Shared utilities: indexed heap, RNG plumbing, timers and validation."""
+
+from repro.utils.indexed_heap import IndexedMaxHeap
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "IndexedMaxHeap",
+    "RandomSource",
+    "spawn_rng",
+    "Timer",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

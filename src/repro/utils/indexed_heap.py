@@ -1,0 +1,131 @@
+"""A max-heap with key update support.
+
+The ID phase of S3CA repeatedly extracts the candidate with the maximum
+marginal redemption and updates priorities as deployments change, which is
+exactly the decrease-key/increase-key pattern a plain :mod:`heapq` does not
+support.  This implementation keeps an explicit position index so updates and
+removals are ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class IndexedMaxHeap(Generic[K]):
+    """Max-heap over ``(key, priority)`` pairs with ``O(log n)`` updates.
+
+    Keys are hashable identifiers (node ids in practice).  Ties are broken by
+    insertion order so behaviour is deterministic across runs.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, int, K]] = []
+        self._positions: Dict[K, int] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._positions
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._positions)
+
+    def push(self, key: K, priority: float) -> None:
+        """Insert ``key`` with ``priority`` or update it if already present."""
+        if key in self._positions:
+            self.update(key, priority)
+            return
+        self._counter += 1
+        entry = (priority, -self._counter, key)
+        self._entries.append(entry)
+        index = len(self._entries) - 1
+        self._positions[key] = index
+        self._sift_up(index)
+
+    def update(self, key: K, priority: float) -> None:
+        """Change the priority of an existing ``key``."""
+        index = self._positions[key]
+        old_priority, order, _ = self._entries[index]
+        self._entries[index] = (priority, order, key)
+        if priority > old_priority:
+            self._sift_up(index)
+        elif priority < old_priority:
+            self._sift_down(index)
+
+    def peek(self) -> Tuple[K, float]:
+        """Return ``(key, priority)`` of the maximum element without removing it."""
+        if not self._entries:
+            raise IndexError("peek from an empty heap")
+        priority, _, key = self._entries[0]
+        return key, priority
+
+    def pop(self) -> Tuple[K, float]:
+        """Remove and return ``(key, priority)`` of the maximum element."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        priority, _, key = self._entries[0]
+        self._remove_at(0)
+        return key, priority
+
+    def remove(self, key: K) -> float:
+        """Remove ``key`` and return its priority."""
+        index = self._positions[key]
+        priority = self._entries[index][0]
+        self._remove_at(index)
+        return priority
+
+    def priority(self, key: K) -> float:
+        """Return the current priority of ``key``."""
+        return self._entries[self._positions[key]][0]
+
+    def get(self, key: K, default: Optional[float] = None) -> Optional[float]:
+        """Return the priority of ``key`` or ``default`` if absent."""
+        if key not in self._positions:
+            return default
+        return self.priority(key)
+
+    # -- internal helpers -------------------------------------------------
+
+    def _remove_at(self, index: int) -> None:
+        last = len(self._entries) - 1
+        key = self._entries[index][2]
+        if index != last:
+            self._swap(index, last)
+        self._entries.pop()
+        del self._positions[key]
+        if index < len(self._entries):
+            self._sift_up(index)
+            self._sift_down(index)
+
+    def _swap(self, i: int, j: int) -> None:
+        self._entries[i], self._entries[j] = self._entries[j], self._entries[i]
+        self._positions[self._entries[i][2]] = i
+        self._positions[self._entries[j][2]] = j
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) // 2
+            if self._entries[index][:2] <= self._entries[parent][:2]:
+                break
+            self._swap(index, parent)
+            index = parent
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._entries)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            largest = index
+            if left < size and self._entries[left][:2] > self._entries[largest][:2]:
+                largest = left
+            if right < size and self._entries[right][:2] > self._entries[largest][:2]:
+                largest = right
+            if largest == index:
+                return
+            self._swap(index, largest)
+            index = largest

@@ -1,0 +1,50 @@
+"""Small wall-clock timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the last completed measurement, or the running
+        time if the stopwatch is still running."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

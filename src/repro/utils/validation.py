@@ -1,0 +1,43 @@
+"""Argument-validation helpers shared across the library.
+
+These raise :class:`ValueError` with a consistent message format so test
+assertions and user-facing errors read the same everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def require_positive(value: Number, name: str) -> Number:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    _require_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: Number, name: str) -> Number:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    _require_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(value: Number, name: str) -> Number:
+    """Return ``value`` if it lies in the closed interval ``[0, 1]``."""
+    _require_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def _require_finite(value: Number, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")

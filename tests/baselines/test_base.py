@@ -1,0 +1,35 @@
+"""Tests for the shared baseline result record."""
+
+import pytest
+
+from repro.baselines.base import AlgorithmResult
+from repro.core.deployment import Deployment
+from repro.diffusion.exact import ExactEstimator
+
+
+def test_from_deployment_prices_consistently(two_hop_path):
+    estimator = ExactEstimator(two_hop_path)
+    deployment = Deployment(two_hop_path, seeds=["a"], allocation={"a": 1})
+    result = AlgorithmResult.from_deployment("demo", deployment, estimator, extra=1.0)
+    assert result.name == "demo"
+    assert result.total_cost == pytest.approx(deployment.total_cost())
+    assert result.expected_benefit == pytest.approx(
+        deployment.expected_benefit(estimator)
+    )
+    assert result.redemption_rate == pytest.approx(
+        result.expected_benefit / result.total_cost
+    )
+    assert result.extras == {"extra": 1.0}
+    assert result.seeds == {"a"}
+    assert result.allocation == {"a": 1}
+
+
+def test_seed_sc_rate_conventions(two_hop_path):
+    estimator = ExactEstimator(two_hop_path)
+    seeds_only = AlgorithmResult.from_deployment(
+        "x", Deployment(two_hop_path, seeds=["a"]), estimator
+    )
+    assert seeds_only.seed_sc_rate == float("inf")
+    empty = AlgorithmResult.from_deployment("y", Deployment(two_hop_path), estimator)
+    assert empty.seed_sc_rate == 0.0
+    assert empty.redemption_rate == 0.0

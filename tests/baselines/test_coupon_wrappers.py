@@ -1,0 +1,96 @@
+"""Tests for the IM-U / IM-L / PM-U / PM-L wrappers."""
+
+import pytest
+
+from repro.baselines.coupon_wrappers import (
+    CouponStrategyBaseline,
+    make_im_l,
+    make_im_u,
+    make_pm_l,
+    make_pm_u,
+)
+from repro.baselines.influence_max import GreedyInfluenceMaximization
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.economics.coupons import LimitedCouponStrategy
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+def wrapper_graph():
+    graph = SocialGraph()
+    graph.add_edge("hub", "a", 0.9)
+    graph.add_edge("hub", "b", 0.8)
+    graph.add_edge("a", "c", 0.7)
+    graph.add_edge("b", "d", 0.6)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=2.0, sc_cost=1.0,
+                       seed_cost=2.0 if node == "hub" else 10.0)
+    return graph
+
+
+@pytest.fixture
+def wrapper_scenario():
+    return Scenario(graph=wrapper_graph(), budget_limit=8.0)
+
+
+def test_factories_produce_named_baselines(wrapper_scenario):
+    estimator = MonteCarloEstimator(wrapper_scenario.graph, num_samples=50, seed=1)
+    assert make_im_u(wrapper_scenario, estimator=estimator).name == "IM-U"
+    assert make_im_l(wrapper_scenario, estimator=estimator).name == "IM-L"
+    assert make_pm_u(wrapper_scenario, estimator=estimator).name == "PM-U"
+    assert make_pm_l(wrapper_scenario, estimator=estimator).name == "PM-L"
+
+
+def test_wrapper_respects_budget(wrapper_scenario):
+    estimator = ExactEstimator(wrapper_scenario.graph)
+    for factory in (make_im_u, make_im_l, make_pm_u, make_pm_l):
+        result = factory(wrapper_scenario, estimator=estimator).run()
+        assert result.total_cost <= wrapper_scenario.budget_limit + 1e-9
+
+
+def test_wrapper_selects_hub_and_spreads_coupons(wrapper_scenario):
+    estimator = ExactEstimator(wrapper_scenario.graph)
+    result = make_im_u(wrapper_scenario, estimator=estimator).run()
+    assert "hub" in result.seeds
+    assert result.deployment.total_coupons >= 1
+
+
+def test_limited_strategy_caps_per_user_allocation(wrapper_scenario):
+    estimator = ExactEstimator(wrapper_scenario.graph)
+    baseline = make_im_l(wrapper_scenario, coupons_per_user=1, estimator=estimator)
+    deployment = baseline.select()
+    assert all(count <= 1 for count in deployment.allocation.as_dict().values())
+
+
+def test_allocation_never_exceeds_out_degree(wrapper_scenario):
+    estimator = ExactEstimator(wrapper_scenario.graph)
+    for factory in (make_im_u, make_im_l):
+        deployment = factory(wrapper_scenario, estimator=estimator).select()
+        for node, count in deployment.allocation.items():
+            assert count <= wrapper_scenario.graph.out_degree(node)
+
+
+def test_fallback_to_cheapest_seed_when_coupons_do_not_fit():
+    graph = wrapper_graph()
+    # Budget only fits the hub's seed cost, not its unlimited coupons.
+    scenario = Scenario(graph=graph, budget_limit=2.2)
+    estimator = ExactEstimator(graph)
+    result = make_im_u(scenario, estimator=estimator).run()
+    assert result.total_cost <= 2.2 + 1e-9
+    assert result.seeds  # still selects a seed
+
+
+def test_custom_selector_and_strategy_composition(wrapper_scenario):
+    estimator = ExactEstimator(wrapper_scenario.graph)
+    selector = GreedyInfluenceMaximization(wrapper_scenario, estimator=estimator)
+    wrapper = CouponStrategyBaseline(
+        wrapper_scenario,
+        selector,
+        LimitedCouponStrategy(2),
+        name="custom",
+        estimator=estimator,
+    )
+    result = wrapper.run()
+    assert result.name == "custom"
+    assert result.total_cost <= wrapper_scenario.budget_limit + 1e-9

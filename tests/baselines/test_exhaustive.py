@@ -1,0 +1,71 @@
+"""Tests for the exhaustive optimal search."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.core.deployment import Deployment
+from repro.core.s3ca import S3CA
+from repro.diffusion.exact import ExactEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+def tiny_graph():
+    graph = SocialGraph()
+    graph.add_edge("s", "a", 0.8)
+    graph.add_edge("s", "b", 0.4)
+    graph.add_edge("a", "c", 0.6)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=2.0, sc_cost=1.0,
+                       seed_cost=1.0 if node == "s" else 5.0)
+    return graph
+
+
+def test_exhaustive_finds_feasible_optimum():
+    graph = tiny_graph()
+    scenario = Scenario(graph, budget_limit=4.0)
+    estimator = ExactEstimator(graph)
+    result = ExhaustiveSearch(scenario, estimator=estimator, max_seeds=1).run()
+    assert result.total_cost <= 4.0 + 1e-9
+    assert result.redemption_rate > 0
+
+
+def test_exhaustive_at_least_as_good_as_any_manual_deployment():
+    graph = tiny_graph()
+    scenario = Scenario(graph, budget_limit=4.0)
+    estimator = ExactEstimator(graph)
+    optimal = ExhaustiveSearch(scenario, estimator=estimator, max_seeds=1).run()
+    manual = Deployment(graph, seeds=["s"], allocation={"s": 1})
+    assert optimal.redemption_rate >= manual.redemption_rate(estimator) - 1e-9
+
+
+def test_exhaustive_upper_bounds_s3ca_on_tiny_instance():
+    graph = tiny_graph()
+    scenario = Scenario(graph, budget_limit=4.0)
+    estimator = ExactEstimator(graph)
+    optimal = ExhaustiveSearch(
+        scenario, estimator=estimator, max_seeds=2, max_total_coupons=4
+    ).run()
+    s3ca = S3CA(scenario, estimator=estimator).solve()
+    assert optimal.redemption_rate >= s3ca.redemption_rate - 1e-6
+
+
+def test_candidate_seeds_restriction():
+    graph = tiny_graph()
+    scenario = Scenario(graph, budget_limit=10.0)
+    estimator = ExactEstimator(graph)
+    result = ExhaustiveSearch(
+        scenario, estimator=estimator, candidate_seeds=["s"], max_seeds=2
+    ).run()
+    assert result.seeds == {"s"}
+
+
+def test_no_affordable_seed_gives_empty_deployment():
+    graph = tiny_graph()
+    for node in graph.nodes():
+        graph.add_node(node, seed_cost=100.0)
+    scenario = Scenario(graph, budget_limit=5.0)
+    estimator = ExactEstimator(graph)
+    result = ExhaustiveSearch(scenario, estimator=estimator).run()
+    assert result.deployment.is_empty()
+    assert result.redemption_rate == 0.0

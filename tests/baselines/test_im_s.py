@@ -1,0 +1,69 @@
+"""Tests for the IM-S two-stage heuristic."""
+
+import pytest
+
+from repro.baselines.im_s import IMShortestPath
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+def bridge_graph():
+    """Two hubs joined by a two-hop bridge of differing influence."""
+    graph = SocialGraph()
+    graph.add_edge("h1", "a", 0.9)
+    graph.add_edge("h1", "bridge1", 0.8)
+    graph.add_edge("bridge1", "bridge2", 0.7)
+    graph.add_edge("bridge2", "h2", 0.9)
+    graph.add_edge("h2", "b", 0.9)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=2.0, sc_cost=1.0,
+                       seed_cost=2.0 if node in {"h1", "h2"} else 20.0)
+    return graph
+
+
+def test_shortest_path_prefers_high_probability_edges():
+    graph = bridge_graph()
+    scenario = Scenario(graph, 20.0)
+    algorithm = IMShortestPath(scenario, estimator=ExactEstimator(graph))
+    path = algorithm._shortest_path("h1", "h2")
+    assert path[0] == "h1" and path[-1] == "h2"
+    assert "bridge1" in path and "bridge2" in path
+
+
+def test_shortest_path_unreachable_returns_empty():
+    graph = bridge_graph()
+    scenario = Scenario(graph, 20.0)
+    algorithm = IMShortestPath(scenario, estimator=ExactEstimator(graph))
+    assert algorithm._shortest_path("a", "h1") == []
+
+
+def test_select_budget_feasible_and_allocates_along_paths():
+    graph = bridge_graph()
+    scenario = Scenario(graph, 12.0)
+    algorithm = IMShortestPath(scenario, estimator=ExactEstimator(graph))
+    deployment = algorithm.select()
+    assert deployment.total_cost() <= 12.0 + 1e-9
+    assert deployment.seeds
+    # Coupons go only to seeds and users on the connecting paths.
+    allowed = {"h1", "h2", "bridge1", "bridge2"}
+    assert set(deployment.allocation.nodes()) <= allowed
+
+
+def test_run_result_named_im_s():
+    graph = bridge_graph()
+    scenario = Scenario(graph, 12.0)
+    result = IMShortestPath(
+        scenario, estimator=MonteCarloEstimator(graph, num_samples=50, seed=1)
+    ).run()
+    assert result.name == "IM-S"
+    assert result.total_cost <= 12.0 + 1e-9
+
+
+def test_single_seed_budget_still_works():
+    graph = bridge_graph()
+    scenario = Scenario(graph, 4.5)  # only one hub affordable in the half-budget
+    result = IMShortestPath(scenario, estimator=ExactEstimator(graph)).run()
+    assert len(result.seeds) >= 1
+    assert result.total_cost <= 4.5 + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for the IM baselines (greedy CELF and degree heuristic)."""
+
+import pytest
+
+from repro.baselines.influence_max import DegreeHeuristic, GreedyInfluenceMaximization
+from repro.diffusion.exact import ExactEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+def im_graph():
+    """A hub that clearly dominates the spread plus a weak satellite."""
+    graph = SocialGraph()
+    graph.add_edge("hub", "a", 0.9)
+    graph.add_edge("hub", "b", 0.9)
+    graph.add_edge("hub", "c", 0.9)
+    graph.add_edge("weak", "d", 0.1)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def scenario(graph, budget=10.0):
+    return Scenario(graph=graph, budget_limit=budget)
+
+
+def test_greedy_ranks_hub_first():
+    graph = im_graph()
+    algorithm = GreedyInfluenceMaximization(
+        scenario(graph), estimator=ExactEstimator(graph)
+    )
+    ranking = algorithm.ranked_seeds(limit=2)
+    assert ranking[0] == "hub"
+
+
+def test_greedy_ranking_respects_limit():
+    graph = im_graph()
+    algorithm = GreedyInfluenceMaximization(
+        scenario(graph), estimator=ExactEstimator(graph)
+    )
+    assert len(algorithm.ranked_seeds(limit=3)) == 3
+
+
+def test_greedy_spread_monotone_in_seed_count():
+    graph = im_graph()
+    algorithm = GreedyInfluenceMaximization(
+        scenario(graph), estimator=ExactEstimator(graph)
+    )
+    ranking = algorithm.ranked_seeds(limit=3)
+    spreads = [algorithm.spread(ranking[: k + 1]) for k in range(3)]
+    assert spreads == sorted(spreads)
+
+
+def test_select_returns_feasible_seed_costs():
+    graph = im_graph()
+    budget = 2.0
+    algorithm = GreedyInfluenceMaximization(
+        scenario(graph, budget), estimator=ExactEstimator(graph)
+    )
+    deployment = algorithm.select()
+    assert deployment.seed_cost() <= budget + 1e-9
+    assert deployment.seeds
+
+
+def test_run_produces_algorithm_result():
+    graph = im_graph()
+    algorithm = GreedyInfluenceMaximization(
+        scenario(graph), estimator=ExactEstimator(graph)
+    )
+    result = algorithm.run()
+    assert result.name == "IM"
+    assert result.expected_benefit > 0
+    assert result.total_cost > 0
+    assert result.redemption_rate == pytest.approx(
+        result.expected_benefit / result.total_cost
+    )
+
+
+def test_degree_heuristic_ranking():
+    graph = im_graph()
+    heuristic = DegreeHeuristic(scenario(graph), estimator=ExactEstimator(graph))
+    ranking = heuristic.ranked_seeds()
+    assert ranking[0] == "hub"
+    assert set(ranking) == set(graph.nodes())
+
+
+def test_degree_heuristic_select_feasible():
+    graph = im_graph()
+    heuristic = DegreeHeuristic(scenario(graph, 3.0), estimator=ExactEstimator(graph))
+    deployment = heuristic.select()
+    assert deployment.seed_cost() <= 3.0 + 1e-9
+
+
+def test_greedy_matches_degree_on_obvious_instance():
+    graph = im_graph()
+    exact = ExactEstimator(graph)
+    greedy_first = GreedyInfluenceMaximization(
+        scenario(graph), estimator=exact
+    ).ranked_seeds(limit=1)
+    degree_first = DegreeHeuristic(scenario(graph), estimator=exact).ranked_seeds(
+        limit=1
+    )
+    assert greedy_first == degree_first == ["hub"]

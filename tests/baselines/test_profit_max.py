@@ -1,0 +1,73 @@
+"""Tests for the PM baseline."""
+
+import pytest
+
+from repro.baselines.profit_max import GreedyProfitMaximization
+from repro.diffusion.exact import ExactEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+def pm_graph():
+    """An influential-but-expensive hub versus a cheap moderately good seed."""
+    graph = SocialGraph()
+    graph.add_edge("expensive", "a", 0.9)
+    graph.add_edge("expensive", "b", 0.9)
+    graph.add_edge("expensive", "c", 0.9)
+    graph.add_edge("cheap", "d", 0.8)
+    graph.add_edge("cheap", "e", 0.7)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    graph.add_node("expensive", benefit=1.0, seed_cost=100.0, sc_cost=1.0)
+    graph.add_node("cheap", benefit=1.0, seed_cost=0.5, sc_cost=1.0)
+    for node in ("a", "b", "c", "d", "e"):
+        graph.add_node(node, seed_cost=50.0)
+    return graph
+
+
+def test_profit_prefers_cheap_seed_over_influential_expensive_one():
+    graph = pm_graph()
+    algorithm = GreedyProfitMaximization(
+        Scenario(graph, 200.0), estimator=ExactEstimator(graph)
+    )
+    ranking = algorithm.ranked_seeds(limit=1)
+    assert ranking == ["cheap"]
+
+
+def test_profit_computation():
+    graph = pm_graph()
+    algorithm = GreedyProfitMaximization(
+        Scenario(graph, 200.0), estimator=ExactEstimator(graph)
+    )
+    # cheap's IC spread benefit: 1 + 0.8 + 0.7 = 2.5; profit = 2.5 - 0.5.
+    assert algorithm.profit(["cheap"]) == pytest.approx(2.0)
+
+
+def test_ranking_stops_when_marginal_profit_non_positive():
+    graph = pm_graph()
+    algorithm = GreedyProfitMaximization(
+        Scenario(graph, 500.0), estimator=ExactEstimator(graph)
+    )
+    ranking = algorithm.ranked_seeds()
+    # The expensive hub (cost 100 > benefit gain ~3.7) and the leaf users
+    # (cost 50 > gain 1) must never be selected.
+    assert "expensive" not in ranking
+    assert ranking == ["cheap"]
+
+
+def test_select_is_budget_feasible_on_seed_cost():
+    graph = pm_graph()
+    algorithm = GreedyProfitMaximization(
+        Scenario(graph, 0.6), estimator=ExactEstimator(graph)
+    )
+    deployment = algorithm.select()
+    assert deployment.seed_cost() <= 0.6 + 1e-9
+
+
+def test_run_produces_named_result():
+    graph = pm_graph()
+    result = GreedyProfitMaximization(
+        Scenario(graph, 200.0), estimator=ExactEstimator(graph)
+    ).run()
+    assert result.name == "PM"
+    assert result.expected_benefit > 0

@@ -1,0 +1,37 @@
+"""Tests for the random baseline."""
+
+import pytest
+
+from repro.baselines.random_policy import RandomPolicy
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.datasets import toy_scenario
+
+
+def test_random_policy_is_budget_feasible():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=40, seed=1)
+    result = RandomPolicy(scenario, estimator=estimator, seed=1).run()
+    assert result.total_cost <= scenario.budget_limit + 1e-9
+
+
+def test_random_policy_deterministic_given_seed():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=40, seed=1)
+    first = RandomPolicy(scenario, estimator=estimator, seed=9).run()
+    second = RandomPolicy(scenario, estimator=estimator, seed=9).run()
+    assert first.seeds == second.seeds
+    assert first.allocation == second.allocation
+
+
+def test_random_policy_allocation_bounds():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=40, seed=1)
+    deployment = RandomPolicy(scenario, estimator=estimator, seed=3).select()
+    for node, count in deployment.allocation.items():
+        assert 0 < count <= scenario.graph.out_degree(node)
+
+
+def test_invalid_seed_budget_fraction_rejected():
+    scenario = toy_scenario()
+    with pytest.raises(ValueError):
+        RandomPolicy(scenario, seed_budget_fraction=1.5, num_samples=10)

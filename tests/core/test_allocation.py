@@ -1,0 +1,166 @@
+"""Tests for SCAllocation and the analytic expected SC cost."""
+
+import pytest
+
+from repro.core.allocation import SCAllocation, expected_sc_cost, node_expected_sc_cost
+from repro.exceptions import AllocationError
+from repro.graph.generators import star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def test_empty_allocation():
+    allocation = SCAllocation()
+    assert len(allocation) == 0
+    assert allocation.total_coupons == 0
+    assert allocation.get("x") == 0
+
+
+def test_set_get_and_zero_removes():
+    allocation = SCAllocation()
+    allocation.set("a", 3)
+    assert allocation.get("a") == 3
+    assert "a" in allocation
+    allocation.set("a", 0)
+    assert "a" not in allocation
+
+
+def test_constructor_drops_zero_entries():
+    allocation = SCAllocation({"a": 2, "b": 0})
+    assert allocation.as_dict() == {"a": 2}
+
+
+def test_negative_count_rejected():
+    with pytest.raises(AllocationError):
+        SCAllocation({"a": -1})
+    allocation = SCAllocation()
+    with pytest.raises(AllocationError):
+        allocation.set("a", -2)
+
+
+def test_increment_and_decrement():
+    allocation = SCAllocation()
+    allocation.increment("a")
+    allocation.increment("a", 2)
+    assert allocation.get("a") == 3
+    allocation.decrement("a", 2)
+    assert allocation.get("a") == 1
+    with pytest.raises(AllocationError):
+        allocation.decrement("a", 5)
+
+
+def test_increment_capped_by_out_degree():
+    graph = star_graph(2)
+    allocation = SCAllocation()
+    allocation.increment(0, 2, graph=graph)
+    with pytest.raises(AllocationError):
+        allocation.increment(0, 1, graph=graph)
+
+
+def test_copy_is_independent():
+    allocation = SCAllocation({"a": 1})
+    clone = allocation.copy()
+    clone.increment("a")
+    assert allocation.get("a") == 1
+    assert clone.get("a") == 2
+
+
+def test_equality_with_mapping():
+    allocation = SCAllocation({"a": 2})
+    assert allocation == {"a": 2}
+    assert allocation == SCAllocation({"a": 2})
+    assert allocation != SCAllocation({"a": 3})
+    assert allocation == {"a": 2, "b": 0}
+
+
+def test_merged_with_takes_maximum():
+    allocation = SCAllocation({"a": 1, "b": 3})
+    merged = allocation.merged_with({"a": 4, "c": 2})
+    assert merged.as_dict() == {"a": 4, "b": 3, "c": 2}
+    assert allocation.as_dict() == {"a": 1, "b": 3}
+
+
+def test_nodes_and_items():
+    allocation = SCAllocation({"a": 1, "b": 2})
+    assert set(allocation.nodes()) == {"a", "b"}
+    assert dict(allocation.items()) == {"a": 1, "b": 2}
+    assert allocation.total_coupons == 3
+
+
+# ----------------------------------------------------------------------
+# expected SC cost
+# ----------------------------------------------------------------------
+
+
+def example1_node():
+    """v1 with friends at probabilities 0.6 and 0.4, unit SC costs."""
+    graph = SocialGraph()
+    graph.add_edge("v1", "v2", 0.6)
+    graph.add_edge("v1", "v3", 0.4)
+    for node in graph.nodes():
+        graph.add_node(node, sc_cost=1.0, benefit=1.0)
+    return graph
+
+
+def test_node_cost_one_coupon_matches_paper_example():
+    graph = example1_node()
+    # Paper Example 1: cost of k=1 on v1 is 0.6 + 0.4*0.4 = 0.76.
+    assert node_expected_sc_cost(graph, "v1", 1) == pytest.approx(0.76)
+
+
+def test_node_cost_two_coupons_matches_paper_example():
+    graph = example1_node()
+    # k=2: every friend has a reserved coupon -> 0.6 + 0.4 = 1.0.
+    assert node_expected_sc_cost(graph, "v1", 2) == pytest.approx(1.0)
+
+
+def test_node_cost_zero_coupons_is_zero():
+    graph = example1_node()
+    assert node_expected_sc_cost(graph, "v1", 0) == 0.0
+    assert node_expected_sc_cost(graph, "v2", 3) == 0.0  # no out-neighbours
+
+
+def test_node_cost_clamped_to_out_degree():
+    graph = example1_node()
+    assert node_expected_sc_cost(graph, "v1", 10) == node_expected_sc_cost(
+        graph, "v1", 2
+    )
+
+
+def test_node_cost_monotone_in_coupons():
+    graph = star_graph(5, probability=0.5)
+    for node in graph.nodes():
+        graph.add_node(node, sc_cost=2.0)
+    costs = [node_expected_sc_cost(graph, 0, k) for k in range(6)]
+    assert costs == sorted(costs)
+
+
+def test_node_cost_weighted_by_target_sc_cost():
+    graph = SocialGraph()
+    graph.add_edge("s", "cheap", 0.5)
+    graph.add_node("cheap", sc_cost=1.0)
+    cheap = node_expected_sc_cost(graph, "s", 1)
+    graph.add_node("cheap", sc_cost=10.0)
+    assert node_expected_sc_cost(graph, "s", 1) == pytest.approx(10 * cheap)
+
+
+def test_expected_sc_cost_sums_over_holders():
+    graph = example1_node()
+    graph.add_edge("v2", "v4", 0.5)
+    graph.add_node("v4", sc_cost=1.0)
+    total = expected_sc_cost(graph, {"v1": 1, "v2": 1})
+    assert total == pytest.approx(0.76 + 0.5)
+
+
+def test_expected_sc_cost_cache_consistency():
+    graph = example1_node()
+    cache = {}
+    first = expected_sc_cost(graph, {"v1": 2}, _cache=cache)
+    second = expected_sc_cost(graph, {"v1": 2}, _cache=cache)
+    assert first == second
+    assert ("v1", 2) in cache
+
+
+def test_expected_sc_cost_ignores_zero_and_empty():
+    graph = example1_node()
+    assert expected_sc_cost(graph, {}) == 0.0
+    assert expected_sc_cost(graph, {"v1": 0}) == 0.0

@@ -1,0 +1,142 @@
+"""Tests for the Guaranteed Path Identification (GPI) phase."""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.core.guaranteed_paths import GuaranteedPath, identify_guaranteed_paths
+from repro.graph.social_graph import SocialGraph
+
+
+def chain_graph():
+    """s -> a -> b with descending probabilities, unit costs/benefits."""
+    graph = SocialGraph()
+    graph.add_edge("s", "a", 0.9)
+    graph.add_edge("a", "b", 0.8)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def branching_graph():
+    """A seed with two subtrees; left child has higher probability."""
+    graph = SocialGraph()
+    graph.add_edge("s", "left", 0.9)
+    graph.add_edge("s", "right", 0.6)
+    graph.add_edge("left", "ll", 0.8)
+    graph.add_edge("right", "rr", 0.7)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def test_paths_enumerated_along_chain():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    terminals = {path.terminal for path in result}
+    assert terminals == {"a", "b"}
+    path_b = result.paths_by_terminal[("s", "b")]
+    assert set(path_b.nodes) == {"s", "a", "b"}
+    assert path_b.allocation == {"s": 1, "a": 1}
+    assert path_b.depth == 2
+    assert path_b.parent == "a"
+
+
+def test_guaranteed_cost_is_expected_sc_cost_of_path_allocation():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    path_b = result.paths_by_terminal[("s", "b")]
+    # s hands one coupon to a (0.9) and a hands one to b (0.8).
+    assert path_b.guaranteed_cost == pytest.approx(0.9 + 0.8)
+    assert path_b.expected_benefit == pytest.approx(3.0)
+
+
+def test_budget_prunes_deep_paths():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    # Remaining budget after the seed (cost 1) is 1.0: only the first hop
+    # (guaranteed cost 0.9) fits; the second (1.7) does not.
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=2.0)
+    assert {path.terminal for path in result} == {"a"}
+
+
+def test_no_budget_left_yields_no_paths():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=1.0)
+    assert len(result) == 0
+
+
+def test_traversal_visits_high_probability_child_first():
+    graph = branching_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    order = [path.terminal for path in result.paths]
+    assert order.index("left") < order.index("right")
+    assert order.index("ll") < order.index("right")
+
+
+def test_paths_are_cumulative_visited_sets():
+    graph = branching_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    first = result.paths[0]
+    last = result.paths[-1]
+    assert set(first.nodes) <= set(last.nodes)
+    assert last.total_coupons == sum(last.allocation.values())
+
+
+def test_max_paths_per_seed_limits_enumeration():
+    graph = branching_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(
+        graph, deployment, budget_limit=10.0, max_paths_per_seed=2
+    )
+    assert len(result) == 2
+
+
+def test_max_depth_limits_enumeration():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(
+        graph, deployment, budget_limit=10.0, max_depth=1
+    )
+    assert {path.terminal for path in result} == {"a"}
+
+
+def test_multiple_seeds_each_get_paths():
+    graph = SocialGraph()
+    graph.add_edge("s1", "a", 0.9)
+    graph.add_edge("s2", "b", 0.9)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    deployment = Deployment(graph, seeds=["s1", "s2"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    assert {(p.seed, p.terminal) for p in result} == {("s1", "a"), ("s2", "b")}
+    assert result.for_seed("s1")[0].terminal == "a"
+
+
+def test_amelioration_index_against_ancestor():
+    graph = chain_graph()
+    deployment = Deployment(graph, seeds=["s"])
+    result = identify_guaranteed_paths(graph, deployment, budget_limit=10.0)
+    path_a = result.paths_by_terminal[("s", "a")]
+    path_b = result.paths_by_terminal[("s", "b")]
+    # Relative to nothing: benefit 2 over cost 0.9.
+    assert path_a.amelioration_index(None) == pytest.approx(2.0 / 0.9)
+    # Relative to the ancestor path ending at a.
+    assert path_b.amelioration_index(path_a) == pytest.approx(1.0 / 0.8)
+
+
+def test_amelioration_index_zero_cost_conventions():
+    path = GuaranteedPath(
+        seed="s", terminal="t", nodes=("s", "t"), allocation={"s": 1},
+        guaranteed_cost=0.0, expected_benefit=2.0, parent="s", depth=1,
+    )
+    assert path.amelioration_index(None) == float("inf")
+    zero_benefit = GuaranteedPath(
+        seed="s", terminal="t", nodes=("s", "t"), allocation={"s": 1},
+        guaranteed_cost=0.0, expected_benefit=0.0, parent="s", depth=1,
+    )
+    assert zero_benefit.amelioration_index(None) == 0.0

@@ -1,0 +1,51 @@
+"""Additional GPI tests: interaction with realistic ID outputs."""
+
+import pytest
+
+from repro.core.guaranteed_paths import identify_guaranteed_paths
+from repro.core.investment import InvestmentDeployment
+from repro.core.s3ca import S3CA
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.datasets import build_scenario, toy_scenario
+
+
+def test_gpi_on_toy_id_output():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=60, seed=2)
+    id_result = InvestmentDeployment(scenario, estimator).run()
+    paths = identify_guaranteed_paths(
+        scenario.graph, id_result.deployment, scenario.budget_limit
+    )
+    for path in paths:
+        # Every path is rooted at a selected seed and stays within the
+        # remaining budget after paying for that seed.
+        assert path.seed in id_result.deployment.seeds
+        remaining = scenario.budget_limit - scenario.graph.seed_cost(path.seed)
+        assert path.guaranteed_cost <= remaining + 1e-9
+        assert path.terminal in path.nodes
+        assert path.seed == path.nodes[0]
+
+
+def test_gpi_allocation_counts_children():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=60, seed=2)
+    id_result = InvestmentDeployment(scenario, estimator).run()
+    paths = identify_guaranteed_paths(
+        scenario.graph, id_result.deployment, scenario.budget_limit
+    )
+    for path in paths:
+        # Total coupons equal the number of non-seed users on the path (each
+        # visited child consumed exactly one coupon from its parent).
+        assert path.total_coupons == len(path.nodes) - 1
+        for node, count in path.allocation.items():
+            assert count <= scenario.graph.out_degree(node)
+
+
+def test_gpi_paths_used_by_full_s3ca_on_dataset():
+    scenario = build_scenario("facebook", scale=0.08, seed=4)
+    result = S3CA(
+        scenario, num_samples=25, seed=4, candidate_limit=4,
+        max_pivot_candidates=10, max_paths_per_seed=15,
+    ).solve()
+    assert result.num_paths >= 0
+    assert result.total_cost <= scenario.budget_limit + 1e-6

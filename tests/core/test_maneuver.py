@@ -1,0 +1,108 @@
+"""Tests for the SC Maneuver (SCM) phase."""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.core.guaranteed_paths import identify_guaranteed_paths
+from repro.core.maneuver import SCManeuver
+from repro.diffusion.exact import ExactEstimator
+from repro.graph.social_graph import SocialGraph
+
+
+def maneuver_graph():
+    """A seed with a low-value branch (where ID parked coupons) and a
+    high-benefit branch that a maneuver should redirect coupons towards.
+
+    ``s`` has friends ``cheap1``/``cheap2`` (benefit 1) and ``gate`` (benefit
+    1) whose child ``prize`` carries a large benefit.
+    """
+    graph = SocialGraph()
+    graph.add_edge("s", "cheap1", 0.9)
+    graph.add_edge("s", "cheap2", 0.85)
+    graph.add_edge("s", "gate", 0.8)
+    graph.add_edge("gate", "prize", 0.9)
+    for node in graph.nodes():
+        graph.add_node(
+            node,
+            benefit=50.0 if node == "prize" else 1.0,
+            sc_cost=1.0,
+            seed_cost=1.0 if node == "s" else 100.0,
+        )
+    return graph
+
+
+def test_maneuver_moves_coupons_towards_high_benefit_path():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    budget = 5.0
+    # ID-style deployment that wastes coupons on the cheap branch: the seed
+    # holds 2 coupons (cheap1, cheap2 reachable) and gate holds none.
+    start = Deployment(graph, seeds=["s"], allocation={"s": 2})
+    paths = identify_guaranteed_paths(graph, start, budget)
+    maneuver = SCManeuver(estimator, budget)
+    result = maneuver.run(start, paths)
+
+    base_rate = start.redemption_rate(estimator)
+    new_rate = result.deployment.redemption_rate(estimator)
+    assert new_rate >= base_rate
+    if result.operations:
+        # If a maneuver happened it must route coupons towards the prize path.
+        assert result.deployment.allocation.get("gate") >= 1 or (
+            result.deployment.allocation.get("s") >= 3
+        )
+        assert new_rate > base_rate
+
+
+def test_maneuver_never_exceeds_budget():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    budget = 4.0
+    start = Deployment(graph, seeds=["s"], allocation={"s": 2})
+    paths = identify_guaranteed_paths(graph, start, budget)
+    result = SCManeuver(estimator, budget).run(start, paths)
+    assert result.deployment.total_cost() <= budget + 1e-9
+
+
+def test_maneuver_noop_without_paths():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    start = Deployment(graph, seeds=["s"], allocation={"s": 2})
+    empty_paths = identify_guaranteed_paths(graph, start, budget_limit=1.0)
+    result = SCManeuver(estimator, 5.0).run(start, empty_paths)
+    assert result.deployment.allocation.as_dict() == start.allocation.as_dict()
+    assert not result.improved
+
+
+def test_maneuver_never_decreases_redemption_rate():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    for allocation in ({"s": 1}, {"s": 2}, {"s": 3}):
+        start = Deployment(graph, seeds=["s"], allocation=dict(allocation))
+        paths = identify_guaranteed_paths(graph, start, 6.0)
+        result = SCManeuver(estimator, 6.0).run(start, paths)
+        assert result.deployment.redemption_rate(estimator) >= (
+            start.redemption_rate(estimator) - 1e-9
+        )
+
+
+def test_maneuver_keeps_total_coupons_bounded():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    start = Deployment(graph, seeds=["s"], allocation={"s": 3})
+    paths = identify_guaranteed_paths(graph, start, 6.0)
+    result = SCManeuver(estimator, 6.0).run(start, paths)
+    for node, count in result.deployment.allocation.items():
+        assert 0 < count <= graph.out_degree(node)
+
+
+def test_operations_record_donor_and_routing():
+    graph = maneuver_graph()
+    estimator = ExactEstimator(graph)
+    start = Deployment(graph, seeds=["s"], allocation={"s": 2})
+    paths = identify_guaranteed_paths(graph, start, 5.0)
+    result = SCManeuver(estimator, 5.0).run(start, paths)
+    for operation in result.operations:
+        assert operation.retrieved >= 1
+        assert operation.deterioration_index >= 0.0
+        assert sum(count for _, count in operation.routing) >= 1
+    assert result.paths_examined >= len(result.paths_created)

@@ -1,0 +1,98 @@
+"""Tests for marginal-redemption evaluation, pinned to the paper's Example 1."""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.core.marginal import MarginalRedemption, _safe_ratio
+from repro.diffusion.exact import ExactEstimator
+
+
+@pytest.fixture
+def example1(example1_graph):
+    estimator = ExactEstimator(example1_graph)
+    evaluator = MarginalRedemption(estimator)
+    base = Deployment(example1_graph, seeds=["v1"], allocation={"v1": 1})
+    return example1_graph, estimator, evaluator, base
+
+
+def test_base_deployment_matches_paper_numbers(example1):
+    graph, estimator, _, base = example1
+    # Expected benefit 1 + 0.6 + 0.4*0.4 = 1.76, expected SC cost 0.76.
+    assert base.expected_benefit(estimator) == pytest.approx(1.76)
+    assert base.sc_cost() == pytest.approx(0.76)
+
+
+def test_mr_of_extra_coupon_on_seed_is_one(example1):
+    _, _, evaluator, base = example1
+    evaluation = evaluator.of_extra_coupon(base, "v1")
+    assert evaluation.benefit_gain == pytest.approx(0.24)
+    assert evaluation.cost_gain == pytest.approx(0.24)
+    assert evaluation.ratio == pytest.approx(1.0)
+    assert evaluation.action == "coupon"
+
+
+def test_mr_of_coupon_on_v2_matches_paper(example1):
+    _, _, evaluator, base = example1
+    evaluation = evaluator.of_extra_coupon(base, "v2")
+    assert evaluation.benefit_gain == pytest.approx(0.42)
+    assert evaluation.cost_gain == pytest.approx(0.70)
+    assert evaluation.ratio == pytest.approx(0.6)
+
+
+def test_mr_of_coupon_on_v3_matches_paper(example1):
+    _, _, evaluator, base = example1
+    evaluation = evaluator.of_extra_coupon(base, "v3")
+    # Paper rounds to 0.15/0.94; exact values are 0.1504 and 0.94.
+    assert evaluation.benefit_gain == pytest.approx(0.1504, abs=1e-4)
+    assert evaluation.cost_gain == pytest.approx(0.94)
+    assert evaluation.ratio == pytest.approx(0.16, abs=0.01)
+
+
+def test_best_first_investment_is_coupon_on_v1(example1):
+    _, _, evaluator, base = example1
+    ratios = {
+        node: evaluator.of_extra_coupon(base, node).ratio
+        for node in ("v1", "v2", "v3")
+    }
+    assert max(ratios, key=ratios.get) == "v1"
+
+
+def test_mr_of_new_seed(example1):
+    graph, estimator, evaluator, _ = example1
+    empty = Deployment(graph)
+    evaluation = evaluator.of_new_seed(empty, "v1")
+    assert evaluation.action == "seed"
+    assert evaluation.benefit_gain == pytest.approx(1.0)
+    assert evaluation.cost_gain == pytest.approx(0.01)
+    assert evaluation.ratio == pytest.approx(100.0)
+
+
+def test_mr_of_new_seed_with_coupon_includes_sc_cost(example1):
+    graph, _, evaluator, _ = example1
+    empty = Deployment(graph)
+    evaluation = evaluator.of_new_seed(empty, "v1", coupons=1)
+    assert evaluation.cost_gain == pytest.approx(0.01 + 0.76)
+    assert evaluation.benefit_gain == pytest.approx(1.76)
+
+
+def test_of_extra_coupon_returns_none_when_saturated(example1):
+    graph, _, evaluator, base = example1
+    saturated = base.with_extra_coupon("v1")  # now 2 coupons = out-degree
+    assert evaluator.of_extra_coupon(saturated, "v1") is None
+
+
+def test_base_benefit_shortcut_gives_same_result(example1):
+    _, estimator, evaluator, base = example1
+    expected = evaluator.of_extra_coupon(base, "v2").ratio
+    precomputed = base.expected_benefit(estimator)
+    assert evaluator.of_extra_coupon(base, "v2", base_benefit=precomputed).ratio == (
+        pytest.approx(expected)
+    )
+
+
+def test_safe_ratio_conventions():
+    assert _safe_ratio(1.0, 0.0) == float("inf")
+    assert _safe_ratio(0.0, 0.0) == 0.0
+    assert _safe_ratio(-1.0, 0.0) == 0.0
+    assert _safe_ratio(2.0, 4.0) == 0.5
+    assert _safe_ratio(-1.0, 2.0) == -0.5

@@ -1,0 +1,122 @@
+"""Regression tests pinned to the worked examples and special cases of the paper.
+
+* Example 1 (Fig. 3): the marginal-redemption numbers of the first ID
+  iteration, reproduced exactly with the exact estimator and the analytic SC
+  cost model.
+* Sec. III special cases: under the unlimited coupon strategy the
+  SC-constrained cascade reduces to the plain independent cascade, and with
+  zero SC costs the objective reduces to benefit over seed cost (the IM-like
+  special case).
+* The redemption-rate example of Sec. III (two isolated users u, v with
+  complementary costs/benefits): the rate-optimal choice picks only u.
+"""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.core.marginal import MarginalRedemption
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.independent_cascade import (
+    saturated_allocation,
+    simulate_independent_cascade,
+)
+from repro.diffusion.sc_cascade import simulate_sc_cascade
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+class TestExample1:
+    """The ID walk-through of Sec. IV-A.1 (Fig. 3, first iteration)."""
+
+    def test_initial_deployment_benefit_and_cost(self, example1_graph):
+        estimator = ExactEstimator(example1_graph)
+        base = Deployment(example1_graph, seeds=["v1"], allocation={"v1": 1})
+        assert base.expected_benefit(estimator) == pytest.approx(1.76)
+        assert base.sc_cost() == pytest.approx(0.76)
+
+    def test_first_iteration_marginal_redemptions(self, example1_graph):
+        estimator = ExactEstimator(example1_graph)
+        evaluator = MarginalRedemption(estimator)
+        base = Deployment(example1_graph, seeds=["v1"], allocation={"v1": 1})
+        mr_v1 = evaluator.of_extra_coupon(base, "v1").ratio
+        mr_v2 = evaluator.of_extra_coupon(base, "v2").ratio
+        mr_v3 = evaluator.of_extra_coupon(base, "v3").ratio
+        assert mr_v1 == pytest.approx(1.0)
+        assert mr_v2 == pytest.approx(0.6)
+        assert mr_v3 == pytest.approx(0.16, abs=0.01)
+        # The paper allocates the first extra coupon to v1 (largest MR).
+        assert mr_v1 > mr_v2 > mr_v3
+
+
+class TestUnlimitedCouponSpecialCase:
+    """With saturated allocations the model reduces to the plain IC."""
+
+    def graph(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b", 0.7)
+        graph.add_edge("a", "c", 0.4)
+        graph.add_edge("b", "d", 0.6)
+        for node in graph.nodes():
+            graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+        return graph
+
+    def test_exact_benefit_matches_ic(self):
+        graph = self.graph()
+        estimator = ExactEstimator(graph)
+        saturated = saturated_allocation(graph)
+        benefit = estimator.expected_benefit(["a"], saturated)
+        # Plain IC: 1 + 0.7 + 0.4 + 0.7*0.6
+        assert benefit == pytest.approx(1 + 0.7 + 0.4 + 0.42)
+
+    def test_simulated_activations_agree_world_by_world(self):
+        graph = self.graph()
+        saturated = saturated_allocation(graph)
+        outcomes = {("a", "b"): True, ("a", "c"): False, ("b", "d"): True}
+        sc = simulate_sc_cascade(graph, ["a"], saturated, edge_outcomes=outcomes)
+        ic = simulate_independent_cascade(graph, ["a"], edge_outcomes=outcomes)
+        assert sc.activated == ic.activated == {"a", "b", "d"}
+
+
+class TestRedemptionRateExample:
+    """The two-user example motivating the redemption-rate objective."""
+
+    def test_rate_optimal_choice_picks_only_the_cheap_user(self):
+        epsilon = 0.01
+        graph = SocialGraph()
+        graph.add_node("u", benefit=1 - epsilon, seed_cost=epsilon, sc_cost=0.0)
+        graph.add_node("v", benefit=epsilon, seed_cost=1 - epsilon, sc_cost=0.0)
+        estimator = ExactEstimator(graph)
+
+        only_u = Deployment(graph, seeds=["u"])
+        both = Deployment(graph, seeds=["u", "v"])
+        assert only_u.redemption_rate(estimator) == pytest.approx(
+            (1 - epsilon) / epsilon
+        )
+        assert both.expected_benefit(estimator) == pytest.approx(1.0)
+        assert both.redemption_rate(estimator) == pytest.approx(1.0)
+        assert only_u.redemption_rate(estimator) > both.redemption_rate(estimator)
+
+
+class TestZeroSCCostSpecialCase:
+    """With zero SC costs the objective reduces to benefit / seed cost."""
+
+    def test_total_cost_equals_seed_cost(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.add_node("a", benefit=1.0, seed_cost=2.0, sc_cost=0.0)
+        graph.add_node("b", benefit=1.0, seed_cost=2.0, sc_cost=0.0)
+        deployment = Deployment(graph, seeds=["a"], allocation={"a": 1})
+        assert deployment.sc_cost() == 0.0
+        assert deployment.total_cost() == pytest.approx(2.0)
+
+
+class TestBudgetFeasibilityAcrossAlgorithms:
+    """Constraint (1b): every algorithm's output respects the budget."""
+
+    def test_s3ca_output_is_feasible_on_example1(self, example1_graph):
+        from repro.core.s3ca import S3CA
+
+        scenario = Scenario(graph=example1_graph, budget_limit=2.0)
+        estimator = ExactEstimator(example1_graph)
+        result = S3CA(scenario, estimator=estimator).solve()
+        assert result.total_cost <= scenario.budget_limit + 1e-9

@@ -1,0 +1,47 @@
+"""Tests for S3CA configuration options (spend_full_budget, bounds)."""
+
+import pytest
+
+from repro.core.s3ca import S3CA
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.datasets import build_scenario, toy_scenario
+
+
+def test_spend_full_budget_uses_at_least_as_much_budget():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=60, seed=9)
+    best_rate = S3CA(scenario, estimator=estimator).solve()
+    full = S3CA(scenario, estimator=estimator, spend_full_budget=True).solve()
+    assert full.total_cost >= best_rate.total_cost - 1e-9
+    assert full.total_cost <= scenario.budget_limit + 1e-9
+    # The default (best-rate snapshot) can only have the better rate.
+    assert best_rate.redemption_rate >= full.redemption_rate - 1e-9
+
+
+def test_spend_full_budget_gains_benefit_on_dataset():
+    scenario = build_scenario("facebook", scale=0.1, seed=6)
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=30, seed=6)
+    kwargs = dict(candidate_limit=5, max_pivot_candidates=10, max_paths_per_seed=15)
+    best_rate = S3CA(scenario, estimator=estimator, **kwargs).solve()
+    full = S3CA(scenario, estimator=estimator, spend_full_budget=True, **kwargs).solve()
+    assert full.expected_benefit >= best_rate.expected_benefit - 1e-6
+
+
+def test_max_depth_limits_paths():
+    scenario = toy_scenario()
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=60, seed=9)
+    shallow = S3CA(scenario, estimator=estimator, max_depth=1).solve()
+    deep = S3CA(scenario, estimator=estimator, max_depth=None).solve()
+    assert shallow.num_paths <= deep.num_paths
+
+
+def test_max_pivot_candidates_bounds_exploration():
+    scenario = build_scenario("facebook", scale=0.1, seed=6)
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=20, seed=6)
+    narrow = S3CA(
+        scenario, estimator=estimator, max_pivot_candidates=3, candidate_limit=3
+    ).solve()
+    wide = S3CA(
+        scenario, estimator=estimator, max_pivot_candidates=30, candidate_limit=3
+    ).solve()
+    assert narrow.explored_nodes <= wide.explored_nodes

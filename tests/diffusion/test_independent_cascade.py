@@ -1,0 +1,57 @@
+"""Tests for the plain IC convenience layer."""
+
+from repro.diffusion.independent_cascade import (
+    activated_union,
+    expected_spread_monte_carlo,
+    saturated_allocation,
+    simulate_independent_cascade,
+)
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def test_saturated_allocation_matches_out_degree():
+    graph = star_graph(4)
+    allocation = saturated_allocation(graph)
+    assert allocation[0] == 4
+    assert allocation[1] == 0
+
+
+def test_ic_reaches_everything_with_probability_one():
+    graph = path_graph(5, probability=1.0)
+    result = simulate_independent_cascade(graph, [0], rng=0)
+    assert result.activated == set(range(5))
+
+
+def test_ic_stops_at_probability_zero():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 0.0)
+    result = simulate_independent_cascade(graph, ["a"], rng=0)
+    assert result.activated == {"a"}
+
+
+def test_expected_spread_monte_carlo_bounds():
+    graph = path_graph(4, probability=0.5)
+    spread = expected_spread_monte_carlo(graph, [0], samples=200, rng=1)
+    assert 1.0 <= spread <= 4.0
+    # First hop alone contributes 0.5 in expectation.
+    assert spread >= 1.4
+
+
+def test_expected_spread_zero_samples():
+    graph = path_graph(3)
+    assert expected_spread_monte_carlo(graph, [0], samples=0) == 0.0
+
+
+def test_activated_union_contains_seeds():
+    graph = path_graph(4, probability=0.3)
+    union = activated_union(graph, [0], samples=20, rng=2)
+    assert 0 in union
+    assert union <= {0, 1, 2, 3}
+
+
+def test_ic_with_edge_outcomes_is_deterministic():
+    graph = path_graph(4, probability=0.5)
+    outcomes = {(0, 1): True, (1, 2): False, (2, 3): True}
+    result = simulate_independent_cascade(graph, [0], edge_outcomes=outcomes)
+    assert result.activated == {0, 1}

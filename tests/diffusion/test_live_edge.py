@@ -1,0 +1,62 @@
+"""Tests for live-edge world sampling and deterministic cascades."""
+
+from repro.diffusion.live_edge import LiveEdgeWorld, cascade_in_world, sample_worlds
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def test_sample_worlds_count_and_determinism():
+    graph = path_graph(5, probability=0.5)
+    first = sample_worlds(graph, 10, rng=3)
+    second = sample_worlds(graph, 10, rng=3)
+    assert len(first) == 10
+    assert [w.live_edges for w in first] == [w.live_edges for w in second]
+
+
+def test_probability_one_edges_always_live():
+    graph = path_graph(4, probability=1.0)
+    for world in sample_worlds(graph, 5, rng=0):
+        assert len(world.live_edges) == 3
+
+
+def test_probability_zero_edges_never_live():
+    graph = path_graph(4, probability=0.0)
+    for world in sample_worlds(graph, 5, rng=0):
+        assert len(world.live_edges) == 0
+
+
+def test_world_is_live_and_outcomes_view():
+    world = LiveEdgeWorld(frozenset({("a", "b")}))
+    assert world.is_live("a", "b")
+    assert not world.is_live("b", "a")
+    assert world.as_outcomes() == {("a", "b"): True}
+
+
+def test_cascade_in_world_respects_allocation():
+    graph = star_graph(3, probability=0.5)
+    world = LiveEdgeWorld(frozenset({(0, 1), (0, 2), (0, 3)}))
+    activated = cascade_in_world(graph, world, [0], {0: 2})
+    assert len(activated) == 3  # hub plus exactly two leaves
+    assert 0 in activated
+
+
+def test_cascade_in_world_skips_dead_edges():
+    graph = path_graph(4, probability=0.5)
+    world = LiveEdgeWorld(frozenset({(0, 1)}))
+    activated = cascade_in_world(graph, world, [0], {0: 1, 1: 1, 2: 1})
+    assert activated == {0, 1}
+
+
+def test_cascade_in_world_without_coupons_is_just_seeds():
+    graph = path_graph(3, probability=1.0)
+    world = LiveEdgeWorld(frozenset({(0, 1), (1, 2)}))
+    assert cascade_in_world(graph, world, [0], {}) == {0}
+
+
+def test_cascade_in_world_multiple_seeds():
+    graph = SocialGraph()
+    graph.add_edge("a", "x", 0.5)
+    graph.add_edge("b", "y", 0.5)
+    world = LiveEdgeWorld(frozenset({("a", "x"), ("b", "y")}))
+    activated = cascade_in_world(graph, world, ["a", "b"], {"a": 1, "b": 1})
+    assert activated == {"a", "b", "x", "y"}

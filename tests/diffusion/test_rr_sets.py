@@ -1,0 +1,77 @@
+"""Tests for the RR-set influence estimator."""
+
+import pytest
+
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.diffusion.independent_cascade import saturated_allocation
+from repro.diffusion.rr_sets import RRSetSampler, estimate_spread_rr
+from repro.exceptions import EstimationError
+from repro.graph.generators import erdos_renyi_graph, path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def unit(graph):
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def test_invalid_parameters():
+    graph = unit(path_graph(3))
+    with pytest.raises(EstimationError):
+        RRSetSampler(graph, num_sets=0)
+    with pytest.raises(EstimationError):
+        RRSetSampler(SocialGraph(), num_sets=10)
+
+
+def test_deterministic_given_seed():
+    graph = unit(erdos_renyi_graph(30, 0.1, seed=1))
+    first = RRSetSampler(graph, num_sets=50, seed=3)
+    second = RRSetSampler(graph, num_sets=50, seed=3)
+    assert first.rr_sets == second.rr_sets
+
+
+def test_spread_bounds():
+    graph = unit(star_graph(5, probability=0.5))
+    sampler = RRSetSampler(graph, num_sets=500, seed=2)
+    spread = sampler.expected_spread([0])
+    assert 1.0 <= spread <= graph.num_nodes
+    assert sampler.expected_spread([]) == 0.0
+
+
+def test_spread_monotone_in_seeds():
+    graph = unit(erdos_renyi_graph(40, 0.08, seed=4))
+    sampler = RRSetSampler(graph, num_sets=300, seed=4)
+    single = sampler.expected_spread([0])
+    double = sampler.expected_spread([0, 1])
+    assert double >= single
+
+
+def test_agrees_with_monte_carlo_on_small_graph():
+    graph = unit(star_graph(4, probability=0.5))
+    rr_estimate = estimate_spread_rr(graph, [0], num_sets=4000, seed=5)
+    mc = MonteCarloEstimator(graph, num_samples=4000, seed=5)
+    mc_estimate = mc.expected_spread([0], saturated_allocation(graph))
+    assert rr_estimate == pytest.approx(mc_estimate, rel=0.15)
+
+
+def test_greedy_seeds_pick_the_hub():
+    graph = unit(star_graph(6, probability=0.9))
+    sampler = RRSetSampler(graph, num_sets=400, seed=6)
+    assert sampler.greedy_seeds(1) == [0]
+
+
+def test_greedy_seeds_respect_k_and_stop_at_zero_gain():
+    graph = unit(path_graph(4, probability=1.0))
+    sampler = RRSetSampler(graph, num_sets=200, seed=7)
+    seeds = sampler.greedy_seeds(10)
+    # Node 0 covers every RR set (probability-1 chain), so one seed suffices.
+    assert seeds[0] == 0
+    assert len(seeds) <= 4
+    assert sampler.greedy_seeds(0) == []
+
+
+def test_coverage_counts():
+    graph = unit(path_graph(3, probability=1.0))
+    sampler = RRSetSampler(graph, num_sets=100, seed=8)
+    assert sampler.coverage([0]) == 100  # 0 reaches every node with certainty

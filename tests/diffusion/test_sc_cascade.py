@@ -1,0 +1,135 @@
+"""Tests for the SC-constrained independent cascade."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.sc_cascade import (
+    CascadeResult,
+    reachable_with_coupons,
+    simulate_sc_cascade,
+    validate_allocation,
+)
+from repro.exceptions import AllocationError
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def certain_graph():
+    """A path a -> b -> c with probability 1 everywhere."""
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def test_seeds_always_activated():
+    graph = certain_graph()
+    result = simulate_sc_cascade(graph, ["a"], {}, rng=0)
+    assert result.activated == {"a"}
+    assert result.num_redemptions == 0
+
+
+def test_propagation_requires_coupons():
+    graph = certain_graph()
+    no_coupons = simulate_sc_cascade(graph, ["a"], {}, rng=0)
+    with_coupons = simulate_sc_cascade(graph, ["a"], {"a": 1, "b": 1}, rng=0)
+    assert no_coupons.activated == {"a"}
+    assert with_coupons.activated == {"a", "b", "c"}
+    assert with_coupons.redemptions == [("a", "b"), ("b", "c")]
+
+
+def test_chain_breaks_without_intermediate_coupon():
+    graph = certain_graph()
+    result = simulate_sc_cascade(graph, ["a"], {"a": 1}, rng=0)
+    assert result.activated == {"a", "b"}
+
+
+def test_coupon_constraint_limits_activations():
+    graph = star_graph(5, probability=1.0)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    result = simulate_sc_cascade(graph, [0], {0: 2}, rng=0)
+    assert len(result.activated) == 3  # hub + exactly two leaves
+    assert result.coupons_used[0] == 2
+
+
+def test_highest_probability_neighbors_served_first():
+    graph = SocialGraph()
+    graph.add_edge("s", "low", 0.4)
+    graph.add_edge("s", "high", 0.9)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    # With deterministic outcomes for every edge and one coupon, the coupon
+    # must go to the higher-probability neighbour.
+    outcomes = {("s", "high"): True, ("s", "low"): True}
+    result = simulate_sc_cascade(graph, ["s"], {"s": 1}, edge_outcomes=outcomes)
+    assert result.activated == {"s", "high"}
+
+
+def test_failed_high_probability_attempt_frees_coupon_for_next():
+    graph = SocialGraph()
+    graph.add_edge("s", "high", 0.9)
+    graph.add_edge("s", "low", 0.4)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    outcomes = {("s", "high"): False, ("s", "low"): True}
+    result = simulate_sc_cascade(graph, ["s"], {"s": 1}, edge_outcomes=outcomes)
+    assert result.activated == {"s", "low"}
+
+
+def test_already_active_neighbor_does_not_consume_coupon():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "a", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    result = simulate_sc_cascade(graph, ["a"], {"a": 1, "b": 1}, rng=0)
+    # b's single coupon must go to c because a is already active.
+    assert result.activated == {"a", "b", "c"}
+
+
+def test_unknown_seed_is_ignored():
+    graph = certain_graph()
+    result = simulate_sc_cascade(graph, ["a", "ghost"], {}, rng=0)
+    assert result.activated == {"a"}
+
+
+def test_deterministic_with_seeded_rng():
+    graph = path_graph(6, probability=0.5)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0)
+    allocation = {node: 1 for node in graph.nodes() if graph.out_degree(node) > 0}
+    first = simulate_sc_cascade(graph, [0], allocation, rng=42)
+    second = simulate_sc_cascade(graph, [0], allocation, rng=42)
+    assert first.activated == second.activated
+
+
+def test_validate_allocation_rejects_bad_entries(two_hop_path):
+    with pytest.raises(AllocationError):
+        validate_allocation(two_hop_path, {"zzz": 1})
+    with pytest.raises(AllocationError):
+        validate_allocation(two_hop_path, {"a": -1})
+    with pytest.raises(AllocationError):
+        validate_allocation(two_hop_path, {"a": 5})
+    with pytest.raises(AllocationError):
+        validate_allocation(two_hop_path, {"a": 1.5})
+    validate_allocation(two_hop_path, {"a": 1, "b": np.int64(1)})
+
+
+def test_cascade_result_totals(two_hop_path):
+    result = CascadeResult(activated={"a", "b"}, redemptions=[("a", "b")])
+    assert result.total_benefit(two_hop_path) == 2.0
+    assert result.total_sc_cost(two_hop_path) == 1.0
+
+
+def test_reachable_with_coupons(two_hop_path):
+    assert reachable_with_coupons(two_hop_path, ["a"], {}) == {"a"}
+    assert reachable_with_coupons(two_hop_path, ["a"], {"a": 1}) == {"a", "b"}
+    assert reachable_with_coupons(two_hop_path, ["a"], {"a": 1, "b": 1}) == {
+        "a",
+        "b",
+        "c",
+    }

@@ -1,0 +1,63 @@
+"""Tests for the case-study adoption model."""
+
+import pytest
+
+from repro.economics.adoption import AdoptionModel, AdoptionSegment
+from repro.economics.costs import assign_uniform_sc_costs
+from repro.graph.generators import erdos_renyi_graph, star_graph
+
+
+def test_probabilities_in_unit_interval():
+    graph = erdos_renyi_graph(50, 0.1, seed=1)
+    assign_uniform_sc_costs(graph, 50.0)
+    model = AdoptionModel(seed=2)
+    probabilities = model.adoption_probabilities(graph)
+    assert set(probabilities) == set(graph.nodes())
+    assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+
+def test_zero_cost_users_always_adopt():
+    graph = star_graph(3)
+    assign_uniform_sc_costs(graph, 0.0)
+    model = AdoptionModel(seed=1)
+    assert all(p == 1.0 for p in model.adoption_probabilities(graph).values())
+
+
+def test_deterministic_given_seed():
+    graph = erdos_renyi_graph(30, 0.1, seed=3)
+    assign_uniform_sc_costs(graph, 10.0)
+    first = AdoptionModel(seed=7).adoption_probabilities(graph)
+    second = AdoptionModel(seed=7).adoption_probabilities(graph)
+    assert first == second
+
+
+def test_apply_damps_edge_probabilities():
+    graph = erdos_renyi_graph(40, 0.1, seed=4)
+    assign_uniform_sc_costs(graph, 50.0)
+    damped = AdoptionModel(seed=5).apply(graph)
+    assert damped.num_edges == graph.num_edges
+    for source, target, probability in damped.edges():
+        assert probability <= graph.probability(source, target) + 1e-12
+
+
+def test_apply_leaves_original_untouched():
+    graph = star_graph(3)
+    assign_uniform_sc_costs(graph, 50.0)
+    original = dict(((s, t), p) for s, t, p in graph.edges())
+    AdoptionModel(seed=1).apply(graph)
+    assert dict(((s, t), p) for s, t, p in graph.edges()) == original
+
+
+def test_segment_shares_must_sum_to_one():
+    with pytest.raises(ValueError):
+        AdoptionModel(
+            segments=(
+                AdoptionSegment(share=0.5, exponent=1.0),
+                AdoptionSegment(share=0.3, exponent=2.0),
+            )
+        )
+
+
+def test_default_segments_match_paper():
+    shares = [segment.share for segment in AdoptionModel.DEFAULT_SEGMENTS]
+    assert shares == [0.85, 0.10, 0.05]

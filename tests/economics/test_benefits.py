@@ -1,0 +1,83 @@
+"""Tests for the benefit models."""
+
+import pytest
+
+from repro.economics.benefits import (
+    assign_gross_margin_benefits,
+    assign_normal_benefits,
+    assign_uniform_benefits,
+    benefit_cost_ratio,
+    seed_cost_benefit_ratio,
+)
+from repro.economics.costs import assign_uniform_sc_costs, assign_uniform_seed_costs
+from repro.graph.generators import erdos_renyi_graph, star_graph
+
+
+def test_normal_benefits_deterministic_with_seed():
+    first = erdos_renyi_graph(20, 0.1, seed=1)
+    second = erdos_renyi_graph(20, 0.1, seed=1)
+    assign_normal_benefits(first, 10.0, 2.0, seed=5)
+    assign_normal_benefits(second, 10.0, 2.0, seed=5)
+    assert [first.benefit(n) for n in first.nodes()] == [
+        second.benefit(n) for n in second.nodes()
+    ]
+
+
+def test_normal_benefits_close_to_mean():
+    graph = erdos_renyi_graph(400, 0.01, seed=2)
+    assign_normal_benefits(graph, 10.0, 2.0, seed=3)
+    mean = graph.total_benefit() / graph.num_nodes
+    assert 9.0 < mean < 11.0
+
+
+def test_normal_benefits_truncated_at_minimum():
+    graph = star_graph(50)
+    assign_normal_benefits(graph, 1.0, 50.0, seed=4, minimum=0.0)
+    assert all(graph.benefit(node) >= 0.0 for node in graph.nodes())
+
+
+def test_normal_benefits_invalid_parameters():
+    graph = star_graph(2)
+    with pytest.raises(ValueError):
+        assign_normal_benefits(graph, -1.0, 1.0)
+    with pytest.raises(ValueError):
+        assign_normal_benefits(graph, 1.0, -1.0)
+
+
+def test_uniform_benefits():
+    graph = star_graph(3)
+    assign_uniform_benefits(graph, 6.0)
+    assert all(graph.benefit(node) == 6.0 for node in graph.nodes())
+
+
+def test_gross_margin_benefits():
+    graph = star_graph(3)
+    assign_uniform_sc_costs(graph, 50.0)
+    assign_gross_margin_benefits(graph, 0.6)
+    assert all(graph.benefit(node) == pytest.approx(125.0) for node in graph.nodes())
+
+
+def test_gross_margin_out_of_range_rejected():
+    graph = star_graph(2)
+    assign_uniform_sc_costs(graph, 1.0)
+    with pytest.raises(ValueError):
+        assign_gross_margin_benefits(graph, 1.0)
+    with pytest.raises(ValueError):
+        assign_gross_margin_benefits(graph, -0.1)
+
+
+def test_ratio_helpers():
+    graph = star_graph(3)
+    assign_uniform_benefits(graph, 4.0)
+    assign_uniform_sc_costs(graph, 2.0)
+    assign_uniform_seed_costs(graph, 8.0)
+    assert benefit_cost_ratio(graph) == pytest.approx(2.0)
+    assert seed_cost_benefit_ratio(graph) == pytest.approx(2.0)
+
+
+def test_ratio_helpers_reject_zero_denominators():
+    graph = star_graph(2)
+    with pytest.raises(ValueError):
+        benefit_cost_ratio(graph)
+    with pytest.raises(ValueError):
+        seed_cost_benefit_ratio(graph)

@@ -1,0 +1,93 @@
+"""Tests for the Budget ledger."""
+
+import pytest
+
+from repro.economics.budget import Budget
+from repro.exceptions import BudgetError
+
+
+def test_basic_spend_and_remaining():
+    budget = Budget(10.0)
+    assert budget.remaining == 10.0
+    budget.spend(4.0, "seed")
+    assert budget.spent == 4.0
+    assert budget.remaining == 6.0
+
+
+def test_can_afford():
+    budget = Budget(5.0)
+    assert budget.can_afford(5.0)
+    assert not budget.can_afford(5.1)
+    budget.spend(3.0)
+    assert budget.can_afford(2.0)
+    assert not budget.can_afford(2.5)
+
+
+def test_overspend_raises():
+    budget = Budget(2.0)
+    with pytest.raises(BudgetError):
+        budget.spend(3.0)
+
+
+def test_negative_amounts_rejected():
+    budget = Budget(2.0)
+    with pytest.raises(BudgetError):
+        budget.spend(-1.0)
+    with pytest.raises(BudgetError):
+        budget.can_afford(-1.0)
+    with pytest.raises(BudgetError):
+        budget.refund(-1.0)
+
+
+def test_refund_restores_capacity():
+    budget = Budget(10.0)
+    budget.spend(8.0, "coupons")
+    budget.refund(3.0, "maneuver")
+    assert budget.spent == 5.0
+    assert budget.can_afford(5.0)
+
+
+def test_refund_never_goes_negative():
+    budget = Budget(10.0)
+    budget.spend(1.0)
+    budget.refund(5.0)
+    assert budget.spent == 0.0
+
+
+def test_entries_ledger():
+    budget = Budget(10.0)
+    budget.spend(2.0, "a")
+    budget.refund(1.0, "b")
+    assert budget.entries() == [("a", 2.0), ("b", -1.0)]
+
+
+def test_reset():
+    budget = Budget(10.0)
+    budget.spend(5.0)
+    budget.reset()
+    assert budget.spent == 0.0
+    assert budget.entries() == []
+
+
+def test_copy_is_independent():
+    budget = Budget(10.0)
+    budget.spend(4.0)
+    clone = budget.copy()
+    clone.spend(2.0)
+    assert budget.spent == 4.0
+    assert clone.spent == 6.0
+
+
+def test_invalid_limit_rejected():
+    with pytest.raises(ValueError):
+        Budget(0.0)
+    with pytest.raises(ValueError):
+        Budget(-5.0)
+
+
+def test_tolerance_allows_rounding_error():
+    budget = Budget(1.0)
+    budget.spend(0.3)
+    budget.spend(0.3)
+    budget.spend(0.4)  # floating-point sum may slightly exceed 1.0
+    assert budget.spent == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Tests for the seed/SC cost models and the κ/λ rescaling knobs."""
+
+import pytest
+
+from repro.economics.benefits import assign_uniform_benefits
+from repro.economics.costs import (
+    assign_degree_proportional_seed_costs,
+    assign_uniform_sc_costs,
+    assign_uniform_seed_costs,
+    scale_sc_costs_to_lambda,
+    scale_seed_costs_to_kappa,
+)
+from repro.graph.generators import star_graph
+
+
+def test_degree_proportional_seed_costs():
+    graph = star_graph(4)
+    assign_degree_proportional_seed_costs(graph, cost_per_friend=2.0, minimum_cost=1.0)
+    assert graph.seed_cost(0) == 8.0
+    assert all(graph.seed_cost(leaf) == 1.0 for leaf in range(1, 5))
+
+
+def test_degree_proportional_minimum_applies():
+    graph = star_graph(2)
+    assign_degree_proportional_seed_costs(graph, cost_per_friend=0.1, minimum_cost=5.0)
+    assert graph.seed_cost(0) == 5.0
+
+
+def test_uniform_costs():
+    graph = star_graph(3)
+    assign_uniform_seed_costs(graph, 7.0)
+    assign_uniform_sc_costs(graph, 3.0)
+    assert all(graph.seed_cost(node) == 7.0 for node in graph.nodes())
+    assert all(graph.sc_cost(node) == 3.0 for node in graph.nodes())
+
+
+def test_negative_costs_rejected():
+    graph = star_graph(2)
+    with pytest.raises(ValueError):
+        assign_uniform_seed_costs(graph, -1.0)
+    with pytest.raises(ValueError):
+        assign_uniform_sc_costs(graph, -1.0)
+
+
+def test_scale_seed_costs_to_kappa():
+    graph = star_graph(3)
+    assign_uniform_benefits(graph, 10.0)
+    assign_degree_proportional_seed_costs(graph)
+    scale_seed_costs_to_kappa(graph, kappa=5.0)
+    assert graph.total_seed_cost() / graph.total_benefit() == pytest.approx(5.0)
+
+
+def test_scale_seed_costs_preserves_relative_profile():
+    graph = star_graph(3)
+    assign_uniform_benefits(graph, 10.0)
+    assign_degree_proportional_seed_costs(graph)
+    ratio_before = graph.seed_cost(0) / graph.seed_cost(1)
+    scale_seed_costs_to_kappa(graph, kappa=2.0)
+    assert graph.seed_cost(0) / graph.seed_cost(1) == pytest.approx(ratio_before)
+
+
+def test_scale_sc_costs_to_lambda():
+    graph = star_graph(3)
+    assign_uniform_benefits(graph, 8.0)
+    assign_uniform_sc_costs(graph, 1.0)
+    scale_sc_costs_to_lambda(graph, lam=4.0)
+    assert graph.total_benefit() / graph.total_sc_cost() == pytest.approx(4.0)
+
+
+def test_scale_requires_positive_totals():
+    graph = star_graph(2)
+    assign_uniform_sc_costs(graph, 1.0)
+    with pytest.raises(ValueError):
+        scale_sc_costs_to_lambda(graph, 1.0)  # no benefits assigned yet
+    assign_uniform_benefits(graph, 1.0)
+    with pytest.raises(ValueError):
+        scale_seed_costs_to_kappa(graph, 1.0)  # no seed costs assigned yet
+
+
+def test_scale_rejects_non_positive_targets():
+    graph = star_graph(2)
+    assign_uniform_benefits(graph, 1.0)
+    assign_uniform_seed_costs(graph, 1.0)
+    with pytest.raises(ValueError):
+        scale_seed_costs_to_kappa(graph, 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the limited / unlimited coupon strategies."""
+
+import pytest
+
+from repro.economics.coupons import LimitedCouponStrategy, UnlimitedCouponStrategy
+from repro.graph.generators import star_graph
+
+
+def test_unlimited_gives_out_degree():
+    graph = star_graph(4)
+    strategy = UnlimitedCouponStrategy()
+    assert strategy.allocation_for(graph, 0) == 4
+    assert strategy.allocation_for(graph, 1) == 0
+    assert strategy.name == "unlimited"
+
+
+def test_limited_caps_at_constant():
+    graph = star_graph(40)
+    strategy = LimitedCouponStrategy(32)
+    assert strategy.allocation_for(graph, 0) == 32
+
+
+def test_limited_caps_at_out_degree():
+    graph = star_graph(3)
+    strategy = LimitedCouponStrategy(32)
+    assert strategy.allocation_for(graph, 0) == 3
+    assert strategy.allocation_for(graph, 2) == 0
+
+
+def test_limited_name_includes_constant():
+    assert LimitedCouponStrategy(10).name == "limited(10)"
+
+
+def test_allocate_skips_zero_entries():
+    graph = star_graph(3)
+    strategy = LimitedCouponStrategy(2)
+    allocation = strategy.allocate(graph, graph.nodes())
+    assert allocation == {0: 2}
+
+
+def test_negative_constant_rejected():
+    with pytest.raises(ValueError):
+        LimitedCouponStrategy(-1)
+
+
+def test_zero_constant_allocates_nothing():
+    graph = star_graph(3)
+    strategy = LimitedCouponStrategy(0)
+    assert strategy.allocate(graph, graph.nodes()) == {}

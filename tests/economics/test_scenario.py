@@ -1,0 +1,111 @@
+"""Tests for Scenario and ScenarioBuilder."""
+
+import pytest
+
+from repro.economics.scenario import Scenario, ScenarioBuilder
+from repro.exceptions import ScenarioError
+from repro.graph.generators import erdos_renyi_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def build_basic(budget=50.0):
+    graph = erdos_renyi_graph(30, 0.1, seed=1)
+    return (
+        ScenarioBuilder(graph, name="basic")
+        .with_normal_benefits(10.0, 2.0, seed=1)
+        .with_uniform_sc_costs(10.0)
+        .with_degree_proportional_seed_costs()
+        .with_budget(budget)
+        .build()
+    )
+
+
+def test_builder_produces_scenario():
+    scenario = build_basic()
+    assert isinstance(scenario, Scenario)
+    assert scenario.budget_limit == 50.0
+    assert scenario.num_nodes == 30
+    assert scenario.name == "basic"
+
+
+def test_builder_requires_budget():
+    graph = star_graph(3)
+    builder = ScenarioBuilder(graph).with_uniform_benefits(1.0)
+    with pytest.raises(ScenarioError):
+        builder.build()
+
+
+def test_builder_requires_benefits():
+    graph = star_graph(3)
+    builder = ScenarioBuilder(graph).with_budget(10.0)
+    with pytest.raises(ScenarioError):
+        builder.build()
+
+
+def test_builder_does_not_mutate_input_graph():
+    graph = star_graph(3)
+    ScenarioBuilder(graph).with_uniform_benefits(9.0).with_budget(5.0).build()
+    assert graph.benefit(0) == 0.0
+
+
+def test_lambda_and_kappa_knobs():
+    graph = erdos_renyi_graph(40, 0.1, seed=2)
+    scenario = (
+        ScenarioBuilder(graph)
+        .with_normal_benefits(10.0, 2.0, seed=2)
+        .with_uniform_sc_costs(5.0)
+        .with_degree_proportional_seed_costs()
+        .with_lambda(2.0)
+        .with_kappa(10.0)
+        .with_budget(100.0)
+        .build()
+    )
+    assert scenario.lam() == pytest.approx(2.0)
+    assert scenario.kappa() == pytest.approx(10.0)
+    assert scenario.metadata["lambda"] == 2.0
+    assert scenario.metadata["kappa"] == 10.0
+
+
+def test_gross_margin_builder_path():
+    graph = star_graph(4)
+    scenario = (
+        ScenarioBuilder(graph)
+        .with_uniform_sc_costs(50.0)
+        .with_gross_margin_benefits(0.5)
+        .with_uniform_seed_costs(10.0)
+        .with_budget(100.0)
+        .build()
+    )
+    assert scenario.graph.benefit(0) == pytest.approx(100.0)
+
+
+def test_scenario_rejects_empty_graph():
+    with pytest.raises(ScenarioError):
+        Scenario(graph=SocialGraph(), budget_limit=1.0)
+
+
+def test_scenario_rejects_non_positive_budget():
+    graph = star_graph(2)
+    graph.add_node(0, benefit=1.0)
+    with pytest.raises(ValueError):
+        Scenario(graph=graph, budget_limit=0.0)
+
+
+def test_budget_ledger_and_describe():
+    scenario = build_basic(budget=20.0)
+    ledger = scenario.budget()
+    assert ledger.limit == 20.0
+    assert "basic" in scenario.describe()
+    assert "B_inv=20" in scenario.describe()
+
+
+def test_metadata_passthrough():
+    graph = star_graph(2)
+    scenario = (
+        ScenarioBuilder(graph)
+        .with_uniform_benefits(1.0)
+        .with_budget(5.0)
+        .with_metadata(source="unit-test")
+        .build()
+    )
+    assert scenario.metadata["source"] == "unit-test"

@@ -1,0 +1,73 @@
+"""Tests for the Fig. 10 optimality study."""
+
+import pytest
+
+from repro.experiments.approximation import (
+    approximation_ratio,
+    benefit_spread_ratio,
+    compare_with_optimal,
+    cost_spread_ratio,
+    points_to_rows,
+    small_instance,
+    sweep_gross_margin,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.graph.social_graph import SocialGraph
+from repro.economics.scenario import Scenario
+
+
+def uniform_scenario():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 0.5)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=2.0, seed_cost=2.0, sc_cost=2.0)
+    return Scenario(graph, 4.0)
+
+
+def test_spread_ratios_on_uniform_instance():
+    scenario = uniform_scenario()
+    assert benefit_spread_ratio(scenario) == pytest.approx(1.0)
+    assert cost_spread_ratio(scenario) == pytest.approx(1.0)
+    # 1 - e^{-1} for b0 = c0 = 1.
+    assert approximation_ratio(scenario) == pytest.approx(0.6321, abs=1e-3)
+
+
+def test_approximation_ratio_decreases_with_spread():
+    scenario = uniform_scenario()
+    scenario.graph.add_node("a", benefit=20.0)
+    assert approximation_ratio(scenario) < 0.6321
+
+
+def test_small_instance_has_gross_margin_benefits():
+    scenario = small_instance(0.5, num_nodes=10, seed=1)
+    graph = scenario.graph
+    for node in graph.nodes():
+        assert graph.benefit(node) == pytest.approx(graph.sc_cost(node) / 0.5)
+
+
+def test_compare_with_optimal_bounds_hold():
+    config = ExperimentConfig(num_samples=50, seed=13, candidate_limit=4,
+                              max_pivot_candidates=10)
+    scenario = small_instance(0.5, num_nodes=9, avg_out_degree=1.5, seed=5,
+                              budget=6.0)
+    point = compare_with_optimal(
+        scenario, config=config, max_seeds=1, max_coupons_per_node=2,
+        max_total_coupons=4, gross_margin=0.5,
+    )
+    assert point.optimal_rate >= 0
+    assert point.worst_case_bound <= point.optimal_rate + 1e-9
+    # S3CA should respect the worst-case guarantee on these tiny instances.
+    assert point.above_bound
+
+
+def test_sweep_gross_margin_rows():
+    config = ExperimentConfig(num_samples=30, seed=13, candidate_limit=3,
+                              max_pivot_candidates=8)
+    points = sweep_gross_margin(
+        [0.4, 0.6], config=config,
+        instance_kwargs={"num_nodes": 8, "avg_out_degree": 1.5, "budget": 5.0},
+    )
+    rows = points_to_rows(points)
+    assert [row["gross_margin"] for row in rows] == [0.4, 0.6]
+    for row in rows:
+        assert row["worst_case"] <= row["OPT"] + 1e-9

@@ -1,0 +1,55 @@
+"""Tests for the Fig. 8 case study machinery."""
+
+import pytest
+
+from repro.core.s3ca import S3CA
+from repro.experiments.case_study import (
+    AIRBNB,
+    BOOKING,
+    case_study_scenario,
+    case_study_series,
+    run_case_study,
+)
+from repro.experiments.config import AlgorithmSpec, ExperimentConfig
+
+
+def test_policies_match_paper_parameters():
+    assert AIRBNB.sc_cost == 50.0 and AIRBNB.coupons_per_user == 100
+    assert BOOKING.sc_cost == 100.0 and BOOKING.coupons_per_user == 10
+
+
+def test_case_study_scenario_economics():
+    scenario = case_study_scenario(AIRBNB, 0.5, dataset="facebook", scale=0.1, seed=3)
+    graph = scenario.graph
+    assert all(graph.sc_cost(node) == 50.0 for node in graph.nodes())
+    assert all(graph.benefit(node) == pytest.approx(100.0) for node in graph.nodes())
+    assert scenario.budget_limit > 0
+    assert scenario.metadata["policy"] == "airbnb"
+
+
+def test_adoption_damps_probabilities():
+    raw = case_study_scenario(AIRBNB, 0.5, dataset="facebook", scale=0.1, seed=3)
+    # Every edge probability must be <= the undamped 1/in-degree value.
+    for _, target, probability in raw.graph.edges():
+        assert probability <= 1.0 / raw.graph.in_degree(target) + 1e-12
+
+
+def test_run_case_study_and_series_shape():
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.1, num_samples=20, seed=3,
+        candidate_limit=3, max_pivot_candidates=8,
+    )
+    algorithms = [
+        AlgorithmSpec(
+            "S3CA",
+            lambda scenario, estimator, seed: S3CA(
+                scenario, estimator=estimator, candidate_limit=3,
+                max_pivot_candidates=8, max_paths_per_seed=10,
+            ),
+        )
+    ]
+    results = run_case_study(BOOKING, [0.4, 0.6], config, algorithms=algorithms)
+    assert set(results) == {0.4, 0.6}
+    series = case_study_series(results, "redemption_rate")
+    assert set(series["S3CA"]) == {0.4, 0.6}
+    assert all(value >= 0 for value in series["S3CA"].values())

@@ -1,0 +1,79 @@
+"""Tests for the Table II dataset stand-ins."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.datasets import (
+    DATASET_SPECS,
+    build_scenario,
+    dataset_graph,
+    named_dataset,
+    table2_rows,
+    toy_scenario,
+)
+
+
+def test_all_four_datasets_defined():
+    assert set(DATASET_SPECS) == {"facebook", "epinions", "gplus", "douban"}
+
+
+def test_dataset_graph_size_scales():
+    small = dataset_graph("facebook", scale=0.2, seed=1)
+    base = dataset_graph("facebook", scale=0.5, seed=1)
+    assert small.num_nodes < base.num_nodes
+    assert small.num_edges > 0
+
+
+def test_dataset_graph_deterministic():
+    first = dataset_graph("epinions", scale=0.2, seed=3)
+    second = dataset_graph("epinions", scale=0.2, seed=3)
+    assert set(first.edges()) == set(second.edges())
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ExperimentError):
+        dataset_graph("myspace")
+    with pytest.raises(ExperimentError):
+        build_scenario("friendster")
+
+
+def test_build_scenario_applies_ratios_and_budget():
+    scenario = build_scenario("facebook", scale=0.2, lam=2.0, kappa=5.0, seed=1)
+    assert scenario.lam() == pytest.approx(2.0)
+    assert scenario.kappa() == pytest.approx(5.0)
+    assert scenario.budget_limit > 0
+    assert scenario.metadata["dataset"] == "facebook"
+
+
+def test_build_scenario_budget_override():
+    scenario = build_scenario("facebook", scale=0.2, budget=123.0, seed=1)
+    assert scenario.budget_limit == 123.0
+
+
+def test_named_dataset_shorthand():
+    scenario = named_dataset("epinions", scale=0.15, seed=2)
+    assert scenario.num_nodes > 0
+    assert "epinions" in scenario.name
+
+
+def test_every_node_has_full_economics():
+    scenario = build_scenario("gplus", scale=0.1, seed=1)
+    graph = scenario.graph
+    assert all(graph.benefit(node) >= 0 for node in graph.nodes())
+    assert all(graph.seed_cost(node) > 0 for node in graph.nodes())
+    assert all(graph.sc_cost(node) > 0 for node in graph.nodes())
+
+
+def test_table2_rows_structure():
+    rows = table2_rows(scale=0.1, seed=1)
+    assert len(rows) == 4
+    for row in rows:
+        assert {"dataset", "nodes", "edges", "budget", "paper_nodes"} <= set(row)
+        assert row["nodes"] >= 20
+
+
+def test_toy_scenario_is_small_and_feasible():
+    scenario = toy_scenario()
+    assert scenario.num_nodes == 8
+    assert scenario.budget_limit > 0
+    assert scenario.graph.seed_cost("a") < scenario.budget_limit

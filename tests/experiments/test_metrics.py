@@ -1,0 +1,86 @@
+"""Tests for the experiment metrics."""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.diffusion.exact import ExactEstimator
+from repro.experiments.metrics import (
+    average_farthest_hop,
+    explored_ratio,
+    redemption_rate,
+    seed_sc_rate,
+    summarize_deployment,
+)
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def unit(graph):
+    for node in graph.nodes():
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    return graph
+
+
+def test_seed_sc_rate_regular_case(small_star):
+    deployment = Deployment(small_star, seeds=["hub"], allocation={"hub": 2})
+    assert seed_sc_rate(deployment) == pytest.approx(
+        deployment.seed_cost() / deployment.sc_cost()
+    )
+
+
+def test_seed_sc_rate_degenerate_cases(small_star):
+    only_seed = Deployment(small_star, seeds=["hub"])
+    assert seed_sc_rate(only_seed) == float("inf")
+    empty = Deployment(small_star)
+    assert seed_sc_rate(empty) == 0.0
+
+
+def test_average_farthest_hop_zero_without_coupons():
+    graph = unit(path_graph(4, probability=1.0))
+    deployment = Deployment(graph, seeds=[0])
+    assert average_farthest_hop(graph, deployment, samples=10, rng=1) == 0.0
+
+
+def test_average_farthest_hop_full_chain():
+    graph = unit(path_graph(4, probability=1.0))
+    deployment = Deployment(graph, seeds=[0], allocation={0: 1, 1: 1, 2: 1})
+    assert average_farthest_hop(graph, deployment, samples=5, rng=1) == 3.0
+
+
+def test_average_farthest_hop_no_seeds():
+    graph = unit(path_graph(3))
+    assert average_farthest_hop(graph, Deployment(graph), samples=5) == 0.0
+
+
+def test_average_farthest_hop_between_zero_and_diameter():
+    graph = unit(path_graph(5, probability=0.5))
+    deployment = Deployment(graph, seeds=[0], allocation={n: 1 for n in range(4)})
+    value = average_farthest_hop(graph, deployment, samples=100, rng=2)
+    assert 0.0 <= value <= 4.0
+
+
+def test_explored_ratio():
+    graph = unit(star_graph(4))
+    assert explored_ratio(3, graph) == pytest.approx(3 / 5)
+    assert explored_ratio(0, SocialGraph()) == 0.0
+
+
+def test_summarize_deployment_fields(small_star):
+    estimator = ExactEstimator(small_star)
+    deployment = Deployment(small_star, seeds=["hub"], allocation={"hub": 2})
+    summary = summarize_deployment(small_star, deployment, estimator, hop_samples=10, rng=1)
+    expected_fields = {
+        "expected_benefit",
+        "total_cost",
+        "redemption_rate",
+        "seed_cost",
+        "sc_cost",
+        "seed_sc_rate",
+        "num_seeds",
+        "total_coupons",
+        "farthest_hop",
+    }
+    assert expected_fields <= set(summary)
+    assert summary["redemption_rate"] == pytest.approx(
+        redemption_rate(deployment, estimator)
+    )

@@ -1,0 +1,70 @@
+"""Tests for the text-table reporting helpers."""
+
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    records_to_rows,
+    to_csv,
+)
+from repro.experiments.runner import RunRecord
+
+
+def test_format_table_alignment_and_title():
+    rows = [
+        {"algorithm": "S3CA", "rate": 1.23456},
+        {"algorithm": "IM-U", "rate": 0.5},
+    ]
+    text = format_table(rows, title="Fig. X")
+    lines = text.splitlines()
+    assert lines[0] == "Fig. X"
+    assert "algorithm" in lines[1]
+    assert "1.235" in text
+    assert "IM-U" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+    assert "(no rows)" in format_table([], title="T")
+
+
+def test_format_table_explicit_columns_and_missing_values():
+    rows = [{"a": 1.0}, {"a": 2.0, "b": 3.0}]
+    text = format_table(rows, columns=["a", "b"])
+    assert "b" in text.splitlines()[0]
+
+
+def test_format_table_handles_infinity():
+    text = format_table([{"x": float("inf")}])
+    assert "inf" in text
+
+
+def test_format_series_layout():
+    series = {
+        "S3CA": {1.0: 2.0, 2.0: 3.0},
+        "IM-U": {1.0: 0.5, 2.0: 0.4},
+    }
+    text = format_series(series, x_label="budget", title="Fig. 6(a)")
+    lines = text.splitlines()
+    assert lines[0] == "Fig. 6(a)"
+    assert lines[1].startswith("budget")
+    assert "S3CA" in lines[1] and "IM-U" in lines[1]
+    assert len(lines) == 2 + 1 + 2  # title + header + separator + two x rows
+
+
+def test_to_csv_round_trip():
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+    csv_text = to_csv(rows)
+    assert csv_text.splitlines()[0] == "a,b"
+    assert "3,4.5" in csv_text
+    assert to_csv([]) == ""
+
+
+def test_records_to_rows():
+    records = [
+        RunRecord(algorithm="S3CA", scenario="toy", metrics={"rate": 1.0, "x": 2.0}),
+        RunRecord(algorithm="IM-U", scenario="toy", metrics={"rate": 0.5}),
+    ]
+    rows = records_to_rows(records, metrics=["rate"])
+    assert rows[0]["algorithm"] == "S3CA"
+    assert rows[0]["rate"] == 1.0
+    assert "x" not in rows[0]

@@ -1,0 +1,54 @@
+"""Tests for the Fig. 9 scalability harness."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scalability import (
+    measure_s3ca,
+    points_to_rows,
+    sweep_network_size,
+    sweep_scalability_budget,
+    synthetic_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        num_samples=20, seed=11, candidate_limit=3, max_pivot_candidates=8
+    )
+
+
+def test_synthetic_scenario_structure():
+    scenario = synthetic_scenario(40, budget=60.0, seed=1)
+    assert scenario.num_nodes == 40
+    assert scenario.budget_limit == 60.0
+    assert scenario.lam() == pytest.approx(1.0)
+
+
+def test_measure_s3ca_point(tiny_config):
+    scenario = synthetic_scenario(30, budget=40.0, seed=tiny_config.seed)
+    point = measure_s3ca(scenario, tiny_config)
+    assert point.num_nodes == 30
+    assert point.seconds >= 0
+    assert 0.0 <= point.explored_ratio <= 1.0
+    assert point.redemption_rate >= 0
+
+
+def test_sweep_network_size(tiny_config):
+    points = sweep_network_size([25, 40], budget=40.0, config=tiny_config)
+    assert [p.num_nodes for p in points] == [25, 40]
+
+
+def test_sweep_budget(tiny_config):
+    points = sweep_scalability_budget([30.0, 80.0], num_nodes=30, config=tiny_config)
+    assert [p.budget for p in points] == [30.0, 80.0]
+    # A larger budget can only explore at least as much of the network.
+    assert points[1].explored_ratio >= points[0].explored_ratio - 0.25
+
+
+def test_points_to_rows(tiny_config):
+    points = sweep_network_size([25], budget=30.0, config=tiny_config)
+    rows = points_to_rows(points)
+    assert rows[0]["nodes"] == 25
+    assert {"edges", "budget", "seconds", "explored_ratio"} <= set(rows[0])

@@ -1,0 +1,79 @@
+"""Tests for the parameter sweeps (tiny settings so they stay fast)."""
+
+import pytest
+
+from repro.core.s3ca import S3CA
+from repro.experiments.config import AlgorithmSpec, ExperimentConfig
+from repro.experiments.sweeps import (
+    run_comparison,
+    sweep_budget,
+    sweep_kappa,
+    sweep_lambda,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        dataset="facebook",
+        scale=0.12,
+        num_samples=25,
+        seed=7,
+        candidate_limit=4,
+        max_pivot_candidates=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def s3ca_only():
+    return [
+        AlgorithmSpec(
+            "S3CA",
+            lambda scenario, estimator, seed: S3CA(
+                scenario,
+                estimator=estimator,
+                candidate_limit=4,
+                max_pivot_candidates=10,
+                max_paths_per_seed=20,
+            ),
+        )
+    ]
+
+
+def test_sweep_budget_shapes(tiny_config, s3ca_only):
+    budgets = [40.0, 120.0]
+    results = sweep_budget(
+        tiny_config, budgets, metrics=("redemption_rate", "expected_benefit"),
+        algorithms=s3ca_only,
+    )
+    assert set(results) == {"redemption_rate", "expected_benefit"}
+    series = results["expected_benefit"]["S3CA"]
+    assert set(series) == set(budgets)
+    # More budget never reduces the achievable expected benefit.
+    assert series[120.0] >= series[40.0] - 1e-6
+
+
+def test_sweep_lambda_contains_all_values(tiny_config, s3ca_only):
+    lams = [0.5, 2.0]
+    results = sweep_lambda(
+        tiny_config, lams, metrics=("redemption_rate",), algorithms=s3ca_only
+    )
+    assert set(results["redemption_rate"]["S3CA"]) == set(lams)
+
+
+def test_sweep_kappa_contains_all_values(tiny_config, s3ca_only):
+    kappas = [5.0, 20.0]
+    results = sweep_kappa(
+        tiny_config, kappas, metrics=("seed_sc_rate",), algorithms=s3ca_only
+    )
+    assert set(results["seed_sc_rate"]["S3CA"]) == set(kappas)
+
+
+def test_run_comparison_produces_all_algorithms(tiny_config):
+    records = run_comparison(tiny_config, include_im_s=False)
+    names = {record.algorithm for record in records}
+    assert {"IM-U", "IM-L", "PM-U", "PM-L", "S3CA"} == names
+    for record in records:
+        assert record.get("total_cost") <= (
+            tiny_config.budget or 1e18
+        ) or record.get("total_cost") > 0

@@ -1,0 +1,49 @@
+"""Tests for NodeAttributes."""
+
+import pytest
+
+from repro.graph.attributes import NodeAttributes
+
+
+def test_defaults_are_zero():
+    attrs = NodeAttributes()
+    assert attrs.benefit == 0.0
+    assert attrs.seed_cost == 0.0
+    assert attrs.sc_cost == 0.0
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ValueError):
+        NodeAttributes(benefit=-1.0)
+    with pytest.raises(ValueError):
+        NodeAttributes(seed_cost=-0.1)
+    with pytest.raises(ValueError):
+        NodeAttributes(sc_cost=-5)
+
+
+def test_with_methods_return_new_instances():
+    attrs = NodeAttributes(benefit=1.0, seed_cost=2.0, sc_cost=3.0)
+    updated = attrs.with_benefit(10.0)
+    assert updated.benefit == 10.0
+    assert attrs.benefit == 1.0
+    assert updated.seed_cost == 2.0
+
+    assert attrs.with_seed_cost(5.0).seed_cost == 5.0
+    assert attrs.with_sc_cost(6.0).sc_cost == 6.0
+
+
+def test_frozen():
+    attrs = NodeAttributes(benefit=1.0)
+    with pytest.raises(AttributeError):
+        attrs.benefit = 2.0  # type: ignore[misc]
+
+
+def test_dict_round_trip():
+    attrs = NodeAttributes(benefit=1.5, seed_cost=2.5, sc_cost=0.5)
+    assert NodeAttributes.from_dict(attrs.as_dict()) == attrs
+
+
+def test_from_dict_with_missing_keys():
+    attrs = NodeAttributes.from_dict({"benefit": 3})
+    assert attrs.benefit == 3.0
+    assert attrs.seed_cost == 0.0

@@ -1,0 +1,40 @@
+"""Subpackage export surface tests.
+
+These guard the documented import paths of each subpackage: everything listed
+in a subpackage's ``__all__`` must resolve, so downstream users can rely on
+the names shown in the README architecture section.
+"""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.economics",
+    "repro.diffusion",
+    "repro.core",
+    "repro.baselines",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_cli_module_importable():
+    module = importlib.import_module("repro.cli")
+    assert callable(module.main)
+    assert callable(module.build_parser)

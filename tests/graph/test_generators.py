@@ -1,0 +1,106 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    GraphSpec,
+    erdos_renyi_graph,
+    path_graph,
+    power_law_graph,
+    ppgg_like_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graph.metrics import average_clustering_coefficient
+
+
+def test_path_graph_structure():
+    graph = path_graph(4, probability=0.3)
+    assert graph.num_nodes == 4
+    assert graph.num_edges == 3
+    assert graph.has_edge(0, 1)
+    assert graph.has_edge(2, 3)
+    assert graph.probability(1, 2) == 0.3
+
+
+def test_star_graph_structure():
+    graph = star_graph(5, probability=0.2)
+    assert graph.num_nodes == 6
+    assert graph.out_degree(0) == 5
+    assert all(graph.in_degree(leaf) == 1 for leaf in range(1, 6))
+
+
+def test_tree_graph_node_count():
+    graph = tree_graph(branching=2, depth=3)
+    assert graph.num_nodes == 1 + 2 + 4 + 8
+    assert graph.num_edges == graph.num_nodes - 1
+    assert graph.out_degree(0) == 2
+
+
+def test_tree_graph_depth_zero():
+    graph = tree_graph(branching=3, depth=0)
+    assert graph.num_nodes == 1
+    assert graph.num_edges == 0
+
+
+def test_erdos_renyi_is_seeded():
+    first = erdos_renyi_graph(30, 0.1, seed=5)
+    second = erdos_renyi_graph(30, 0.1, seed=5)
+    assert set(first.edges()) == set(second.edges())
+
+
+def test_erdos_renyi_zero_probability_has_no_edges():
+    graph = erdos_renyi_graph(10, 0.0, seed=1)
+    assert graph.num_edges == 0
+    assert graph.num_nodes == 10
+
+
+def test_erdos_renyi_reciprocal_probabilities():
+    graph = erdos_renyi_graph(25, 0.2, seed=3)
+    for _, target, probability in graph.edges():
+        assert probability == pytest.approx(1.0 / graph.in_degree(target))
+
+
+def test_power_law_graph_size_and_determinism():
+    first = power_law_graph(60, avg_out_degree=4, seed=11)
+    second = power_law_graph(60, avg_out_degree=4, seed=11)
+    assert first.num_nodes == 60
+    assert first.num_edges > 0
+    assert set(first.edges()) == set(second.edges())
+
+
+def test_power_law_graph_has_degree_heterogeneity():
+    graph = power_law_graph(150, avg_out_degree=5, exponent=1.8, seed=2)
+    degrees = sorted(graph.out_degree(node) for node in graph.nodes())
+    assert degrees[-1] > degrees[len(degrees) // 2]
+
+
+def test_ppgg_like_clustering_increases_with_parameter():
+    low = ppgg_like_graph(80, avg_out_degree=4, clustering=0.0, seed=7)
+    high = ppgg_like_graph(80, avg_out_degree=4, clustering=0.8, seed=7)
+    assert average_clustering_coefficient(high) >= average_clustering_coefficient(low)
+    assert high.num_edges >= low.num_edges
+
+
+def test_ppgg_like_probabilities_are_reciprocal_in_degree():
+    graph = ppgg_like_graph(50, avg_out_degree=4, clustering=0.3, seed=9)
+    for _, target, probability in graph.edges():
+        assert probability == pytest.approx(1.0 / graph.in_degree(target))
+
+
+def test_graph_spec_build():
+    spec = GraphSpec(name="demo", num_nodes=40, avg_out_degree=3, seed=1)
+    graph = spec.build()
+    assert graph.num_nodes == 40
+    assert graph.num_edges > 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        path_graph(0)
+    with pytest.raises(ValueError):
+        star_graph(3, probability=2.0)
+    with pytest.raises(ValueError):
+        tree_graph(2, depth=-1)
+    with pytest.raises(ValueError):
+        power_law_graph(10, avg_out_degree=-1)

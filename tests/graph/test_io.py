@@ -1,0 +1,63 @@
+"""Tests for graph persistence (edge list and JSON formats)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.io import load_edge_list, load_json, save_edge_list, save_json
+from repro.graph.social_graph import SocialGraph
+
+
+@pytest.fixture
+def sample_graph():
+    graph = SocialGraph()
+    graph.add_edge(1, 2, 0.5)
+    graph.add_edge(2, 3, 0.25)
+    graph.add_node(1, benefit=4.0, seed_cost=2.0, sc_cost=1.0)
+    return graph
+
+
+def test_edge_list_round_trip(sample_graph, tmp_path):
+    path = tmp_path / "graph.txt"
+    save_edge_list(sample_graph, path)
+    loaded = load_edge_list(path)
+    assert set(loaded.edges()) == set(sample_graph.edges())
+
+
+def test_edge_list_comments_and_default_probability(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# a comment\n1 2\n2 3 0.7\n\n")
+    graph = load_edge_list(path, default_probability=0.2)
+    assert graph.probability(1, 2) == 0.2
+    assert graph.probability(2, 3) == 0.7
+
+
+def test_edge_list_reciprocal_in_degree(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("1 3\n2 3\n")
+    graph = load_edge_list(path, reciprocal_in_degree=True)
+    assert graph.probability(1, 3) == pytest.approx(0.5)
+
+
+def test_edge_list_malformed_line_raises(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("justonetoken\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+
+
+def test_edge_list_string_node_ids(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("alice bob 0.4\n")
+    graph = load_edge_list(path)
+    assert graph.has_edge("alice", "bob")
+
+
+def test_json_round_trip_preserves_attributes(sample_graph, tmp_path):
+    path = tmp_path / "graph.json"
+    save_json(sample_graph, path)
+    loaded = load_json(path)
+    assert loaded.num_nodes == sample_graph.num_nodes
+    assert loaded.num_edges == sample_graph.num_edges
+    assert loaded.benefit(1) == 4.0
+    assert loaded.seed_cost(1) == 2.0
+    assert loaded.probability(2, 3) == 0.25

@@ -1,0 +1,80 @@
+"""Tests for structural graph metrics."""
+
+import pytest
+
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    connected_component_sizes,
+    degree_histogram,
+    farthest_hop_from,
+    reachable_set,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+def test_degree_histogram_out_and_in():
+    graph = star_graph(3)
+    out_hist = degree_histogram(graph, direction="out")
+    in_hist = degree_histogram(graph, direction="in")
+    assert out_hist == {3: 1, 0: 3}
+    assert in_hist == {0: 1, 1: 3}
+
+
+def test_degree_histogram_invalid_direction():
+    with pytest.raises(ValueError):
+        degree_histogram(star_graph(2), direction="sideways")
+
+
+def test_clustering_zero_on_star_and_path():
+    assert average_clustering_coefficient(star_graph(4)) == 0.0
+    assert average_clustering_coefficient(path_graph(5)) == 0.0
+
+
+def test_clustering_positive_on_closed_triangle():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 0.5)
+    graph.add_edge("a", "c", 0.5)
+    graph.add_edge("b", "c", 0.5)
+    assert average_clustering_coefficient(graph) > 0.0
+
+
+def test_clustering_empty_graph_is_zero():
+    assert average_clustering_coefficient(SocialGraph()) == 0.0
+
+
+def test_reachable_set_follows_direction():
+    graph = path_graph(4)
+    assert reachable_set(graph, [0]) == {0, 1, 2, 3}
+    assert reachable_set(graph, [2]) == {2, 3}
+    assert reachable_set(graph, [3]) == {3}
+
+
+def test_reachable_set_ignores_unknown_sources():
+    graph = path_graph(3)
+    assert reachable_set(graph, ["not-there"]) == set()
+
+
+def test_farthest_hop_unrestricted():
+    graph = path_graph(5)
+    assert farthest_hop_from(graph, [0]) == 4
+    assert farthest_hop_from(graph, [4]) == 0
+
+
+def test_farthest_hop_restricted_to_activated_set():
+    graph = path_graph(5)
+    assert farthest_hop_from(graph, [0], restrict_to={0, 1, 2}) == 2
+    assert farthest_hop_from(graph, [0], restrict_to={0}) == 0
+
+
+def test_farthest_hop_multiple_sources():
+    graph = path_graph(6)
+    assert farthest_hop_from(graph, [0, 3]) == 2
+
+
+def test_connected_component_sizes():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 0.5)
+    graph.add_edge("c", "d", 0.5)
+    graph.add_node("e")
+    assert connected_component_sizes(graph) == [2, 2, 1]

@@ -1,0 +1,80 @@
+"""Tests for the subgraph samplers."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+from repro.graph.sampling import (
+    forest_fire_sample,
+    random_node_sample,
+    snowball_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    graph = power_law_graph(120, avg_out_degree=5, seed=1)
+    for node in graph.nodes():
+        graph.add_node(node, benefit=float(node), seed_cost=1.0, sc_cost=1.0)
+    return graph
+
+
+@pytest.mark.parametrize(
+    "sampler", [random_node_sample, snowball_sample, forest_fire_sample]
+)
+def test_sample_size_and_attribute_preservation(base_graph, sampler):
+    sample = sampler(base_graph, 30, seed=3)
+    assert sample.num_nodes == 30
+    for node in sample.nodes():
+        assert sample.benefit(node) == base_graph.benefit(node)
+        assert node in base_graph
+
+
+@pytest.mark.parametrize(
+    "sampler", [random_node_sample, snowball_sample, forest_fire_sample]
+)
+def test_sample_deterministic_given_seed(base_graph, sampler):
+    first = sampler(base_graph, 25, seed=9)
+    second = sampler(base_graph, 25, seed=9)
+    assert set(first.nodes()) == set(second.nodes())
+
+
+@pytest.mark.parametrize(
+    "sampler", [random_node_sample, snowball_sample, forest_fire_sample]
+)
+def test_sample_edges_are_induced(base_graph, sampler):
+    sample = sampler(base_graph, 40, seed=5)
+    for source, target, _ in sample.edges():
+        assert base_graph.has_edge(source, target)
+
+
+def test_invalid_sizes_rejected(base_graph):
+    with pytest.raises(GraphError):
+        random_node_sample(base_graph, 0)
+    with pytest.raises(GraphError):
+        random_node_sample(base_graph, base_graph.num_nodes + 1)
+    with pytest.raises(GraphError):
+        snowball_sample(base_graph, 10, num_roots=0)
+    with pytest.raises(GraphError):
+        forest_fire_sample(base_graph, 10, forward_probability=1.5)
+
+
+def test_snowball_keeps_local_structure(base_graph):
+    from repro.graph.metrics import connected_component_sizes
+
+    sample = snowball_sample(base_graph, 30, seed=2, num_roots=1)
+    # A snowball sample grows as a BFS ball, so the bulk of it hangs together
+    # in one weak component (uniform sampling typically shatters into many).
+    sizes = connected_component_sizes(sample)
+    assert sizes[0] >= sample.num_nodes * 0.5
+
+
+def test_reciprocal_probability_recomputation(base_graph):
+    sample = random_node_sample(base_graph, 50, seed=4, reciprocal_in_degree=True)
+    for _, target, probability in sample.edges():
+        assert probability == pytest.approx(1.0 / sample.in_degree(target))
+
+
+def test_forest_fire_handles_low_probability(base_graph):
+    sample = forest_fire_sample(base_graph, 20, seed=6, forward_probability=0.05)
+    assert sample.num_nodes == 20

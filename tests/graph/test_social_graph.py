@@ -1,0 +1,170 @@
+"""Tests for the SocialGraph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.attributes import NodeAttributes
+from repro.graph.social_graph import SocialGraph
+
+
+@pytest.fixture
+def triangle():
+    graph = SocialGraph()
+    graph.add_edge("a", "b", 0.5)
+    graph.add_edge("b", "c", 0.3)
+    graph.add_edge("a", "c", 0.2)
+    return graph
+
+
+def test_add_node_with_attributes():
+    graph = SocialGraph()
+    graph.add_node("a", benefit=5.0, seed_cost=2.0, sc_cost=1.0)
+    attrs = graph.attributes("a")
+    assert attrs.benefit == 5.0
+    assert attrs.seed_cost == 2.0
+    assert attrs.sc_cost == 1.0
+
+
+def test_add_node_updates_existing_attributes():
+    graph = SocialGraph()
+    graph.add_node("a", benefit=5.0)
+    graph.add_node("a", seed_cost=3.0)
+    assert graph.benefit("a") == 5.0
+    assert graph.seed_cost("a") == 3.0
+
+
+def test_add_edge_creates_endpoints(triangle):
+    assert triangle.num_nodes == 3
+    assert triangle.num_edges == 3
+    assert triangle.has_edge("a", "b")
+    assert not triangle.has_edge("b", "a")
+
+
+def test_self_loop_rejected():
+    graph = SocialGraph()
+    with pytest.raises(GraphError):
+        graph.add_edge("a", "a", 0.5)
+
+
+def test_invalid_probability_rejected():
+    graph = SocialGraph()
+    with pytest.raises(ValueError):
+        graph.add_edge("a", "b", 1.5)
+
+
+def test_probability_lookup_and_missing_edge(triangle):
+    assert triangle.probability("a", "b") == 0.5
+    with pytest.raises(EdgeNotFoundError):
+        triangle.probability("c", "a")
+
+
+def test_missing_node_raises():
+    graph = SocialGraph()
+    with pytest.raises(NodeNotFoundError):
+        graph.out_degree("nope")
+    with pytest.raises(NodeNotFoundError):
+        graph.attributes("nope")
+
+
+def test_degrees(triangle):
+    assert triangle.out_degree("a") == 2
+    assert triangle.in_degree("c") == 2
+    assert triangle.in_degree("a") == 0
+
+
+def test_remove_edge(triangle):
+    triangle.remove_edge("a", "b")
+    assert not triangle.has_edge("a", "b")
+    assert triangle.num_edges == 2
+    with pytest.raises(EdgeNotFoundError):
+        triangle.remove_edge("a", "b")
+
+
+def test_re_adding_edge_overwrites_probability(triangle):
+    triangle.add_edge("a", "b", 0.9)
+    assert triangle.num_edges == 3
+    assert triangle.probability("a", "b") == 0.9
+
+
+def test_ranked_out_neighbors_sorted_by_probability(triangle):
+    ranked = triangle.ranked_out_neighbors("a")
+    assert [node for node, _ in ranked] == ["b", "c"]
+    assert [probability for _, probability in ranked] == [0.5, 0.2]
+
+
+def test_ranked_out_neighbors_cache_invalidated_on_change(triangle):
+    assert [n for n, _ in triangle.ranked_out_neighbors("a")] == ["b", "c"]
+    triangle.add_edge("a", "c", 0.95)
+    assert [n for n, _ in triangle.ranked_out_neighbors("a")] == ["c", "b"]
+
+
+def test_ranked_ties_broken_by_identifier():
+    graph = SocialGraph()
+    graph.add_edge("s", "b", 0.5)
+    graph.add_edge("s", "a", 0.5)
+    assert [n for n, _ in graph.ranked_out_neighbors("s")] == ["a", "b"]
+
+
+def test_edges_iteration(triangle):
+    edges = set(triangle.edges())
+    assert ("a", "b", 0.5) in edges
+    assert len(edges) == 3
+
+
+def test_totals():
+    graph = SocialGraph()
+    graph.add_node("a", benefit=1.0, seed_cost=2.0, sc_cost=3.0)
+    graph.add_node("b", benefit=4.0, seed_cost=5.0, sc_cost=6.0)
+    assert graph.total_benefit() == 5.0
+    assert graph.total_seed_cost() == 7.0
+    assert graph.total_sc_cost() == 9.0
+
+
+def test_copy_is_independent(triangle):
+    clone = triangle.copy()
+    clone.add_edge("c", "a", 0.1)
+    assert not triangle.has_edge("c", "a")
+    assert clone.num_edges == triangle.num_edges + 1
+
+
+def test_subgraph_induces_edges(triangle):
+    sub = triangle.subgraph(["a", "b"])
+    assert sub.num_nodes == 2
+    assert sub.has_edge("a", "b")
+    assert not sub.has_edge("a", "c")
+
+
+def test_subgraph_missing_node_raises(triangle):
+    with pytest.raises(NodeNotFoundError):
+        triangle.subgraph(["a", "zzz"])
+
+
+def test_from_edges_with_attributes():
+    attrs = {"a": NodeAttributes(benefit=9.0)}
+    graph = SocialGraph.from_edges([("a", "b", 0.4)], attributes=attrs)
+    assert graph.benefit("a") == 9.0
+    assert graph.has_edge("a", "b")
+
+
+def test_networkx_round_trip(triangle):
+    pytest.importorskip("networkx")
+    triangle.add_node("a", benefit=7.0)
+    digraph = triangle.to_networkx()
+    back = SocialGraph.from_networkx(digraph)
+    assert back.num_nodes == triangle.num_nodes
+    assert back.num_edges == triangle.num_edges
+    assert back.benefit("a") == 7.0
+    assert back.probability("a", "b") == 0.5
+
+
+def test_assign_reciprocal_in_degree_probabilities(triangle):
+    triangle.assign_reciprocal_in_degree_probabilities()
+    assert triangle.probability("a", "b") == 1.0  # b has in-degree 1
+    assert triangle.probability("a", "c") == 0.5  # c has in-degree 2
+    assert triangle.probability("b", "c") == 0.5
+
+
+def test_contains_len_iter(triangle):
+    assert "a" in triangle
+    assert len(triangle) == 3
+    assert set(iter(triangle)) == {"a", "b", "c"}

@@ -1,0 +1,88 @@
+"""Property-based tests for algorithm-level invariants.
+
+Every algorithm in the library must return a deployment that
+
+* respects the investment budget (constraint (1b)),
+* never allocates more coupons to a user than she has friends, and
+* never allocates coupons to users that cannot possibly be reached.
+
+These are checked over randomly generated small scenarios.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.coupon_wrappers import make_im_l, make_im_u
+from repro.core.s3ca import S3CA
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def random_scenario(draw):
+    """A random scenario with 4-8 users and heterogeneous economics."""
+    num_nodes = draw(st.integers(min_value=4, max_value=8))
+    nodes = list(range(num_nodes))
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(
+            node,
+            benefit=draw(st.floats(min_value=0.5, max_value=10.0)),
+            seed_cost=draw(st.floats(min_value=0.5, max_value=5.0)),
+            sc_cost=draw(st.floats(min_value=0.1, max_value=2.0)),
+        )
+    possible = [(u, v) for u in nodes for v in nodes if u != v]
+    for source, target in draw(
+        st.lists(st.sampled_from(possible), min_size=2, max_size=12, unique=True)
+    ):
+        graph.add_edge(
+            source, target, draw(st.floats(min_value=0.05, max_value=0.95))
+        )
+    budget = draw(st.floats(min_value=2.0, max_value=15.0))
+    return Scenario(graph=graph, budget_limit=budget)
+
+
+def check_deployment_invariants(scenario, deployment):
+    assert deployment.total_cost() <= scenario.budget_limit + 1e-6
+    for node, coupons in deployment.allocation.items():
+        assert 0 < coupons <= scenario.graph.out_degree(node)
+    assert deployment.seeds <= set(scenario.graph.nodes())
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_scenario(), st.integers(min_value=0, max_value=1000))
+def test_s3ca_output_invariants(scenario, seed):
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=30, seed=seed)
+    result = S3CA(
+        scenario, estimator=estimator, candidate_limit=4, max_pivot_candidates=8,
+        max_paths_per_seed=10,
+    ).solve()
+    check_deployment_invariants(scenario, result.deployment)
+    assert result.redemption_rate >= 0.0
+    assert result.expected_benefit >= 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_scenario(), st.integers(min_value=0, max_value=1000))
+def test_im_wrappers_output_invariants(scenario, seed):
+    estimator = MonteCarloEstimator(scenario.graph, num_samples=20, seed=seed)
+    for factory in (make_im_u, make_im_l):
+        deployment = factory(scenario, estimator=estimator).select()
+        check_deployment_invariants(scenario, deployment)
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_scenario(), st.integers(min_value=0, max_value=1000))
+def test_s3ca_deterministic_given_seed(scenario, seed):
+    def run():
+        estimator = MonteCarloEstimator(scenario.graph, num_samples=25, seed=seed)
+        return S3CA(
+            scenario, estimator=estimator, candidate_limit=3,
+            max_pivot_candidates=6, max_paths_per_seed=8,
+        ).solve()
+
+    first = run()
+    second = run()
+    assert first.seeds == second.seeds
+    assert first.allocation == second.allocation

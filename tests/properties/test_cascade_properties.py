@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the SC-constrained cascade."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.diffusion.sc_cascade import reachable_with_coupons, simulate_sc_cascade
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def random_graph_and_allocation(draw, max_nodes=8):
+    """A small random digraph with unit economics, an allocation and seeds."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    nodes = list(range(num_nodes))
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(node, benefit=1.0, sc_cost=1.0, seed_cost=1.0)
+    possible_edges = [(u, v) for u in nodes for v in nodes if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=min(14, len(possible_edges)),
+                 unique=True)
+    )
+    for source, target in chosen:
+        probability = draw(st.floats(min_value=0.0, max_value=1.0))
+        graph.add_edge(source, target, probability)
+    allocation = {}
+    for node in nodes:
+        degree = graph.out_degree(node)
+        if degree:
+            allocation[node] = draw(st.integers(min_value=0, max_value=degree))
+    seeds = draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return graph, seeds, allocation, rng_seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph_and_allocation())
+def test_seeds_always_in_activated_set(data):
+    graph, seeds, allocation, rng_seed = data
+    result = simulate_sc_cascade(graph, seeds, allocation, rng=rng_seed)
+    assert set(seeds) <= result.activated
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph_and_allocation())
+def test_activated_within_coupon_reachable_closure(data):
+    graph, seeds, allocation, rng_seed = data
+    result = simulate_sc_cascade(graph, seeds, allocation, rng=rng_seed)
+    assert result.activated <= reachable_with_coupons(graph, seeds, allocation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph_and_allocation())
+def test_redemptions_respect_allocation(data):
+    graph, seeds, allocation, rng_seed = data
+    result = simulate_sc_cascade(graph, seeds, allocation, rng=rng_seed)
+    for node, used in result.coupons_used.items():
+        assert used <= allocation.get(node, 0)
+    # Every activated non-seed was redeemed through exactly one edge.
+    non_seeds = result.activated - set(seeds)
+    assert len(result.redemptions) == len(non_seeds)
+    assert {target for _, target in result.redemptions} == non_seeds
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph_and_allocation())
+def test_simulation_deterministic_for_same_rng_seed(data):
+    graph, seeds, allocation, rng_seed = data
+    first = simulate_sc_cascade(graph, seeds, allocation, rng=rng_seed)
+    second = simulate_sc_cascade(graph, seeds, allocation, rng=rng_seed)
+    assert first.activated == second.activated
+    assert first.redemptions == second.redemptions
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graph_and_allocation())
+def test_monotone_in_allocation_per_world(data):
+    """With a fixed live-edge world, more coupons never shrink the spread."""
+    graph, seeds, allocation, rng_seed = data
+    from repro.diffusion.live_edge import cascade_in_world, sample_worlds
+
+    world = sample_worlds(graph, 1, rng=rng_seed)[0]
+    smaller = cascade_in_world(graph, world, seeds, allocation)
+    bigger_allocation = {
+        node: graph.out_degree(node) for node in graph.nodes() if graph.out_degree(node)
+    }
+    bigger = cascade_in_world(graph, world, seeds, bigger_allocation)
+    assert smaller <= bigger

@@ -1,0 +1,98 @@
+"""Property-based tests for the analytic expected SC cost model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.allocation import expected_sc_cost, node_expected_sc_cost
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def star_with_probabilities(draw):
+    """A single coupon holder with up to six ranked friends."""
+    num_friends = draw(st.integers(min_value=1, max_value=6))
+    probabilities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=num_friends,
+            max_size=num_friends,
+        )
+    )
+    sc_costs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=num_friends,
+            max_size=num_friends,
+        )
+    )
+    graph = SocialGraph()
+    graph.add_node("hub", sc_cost=1.0, benefit=1.0)
+    for index, (probability, cost) in enumerate(zip(probabilities, sc_costs)):
+        leaf = f"leaf{index}"
+        graph.add_edge("hub", leaf, probability)
+        graph.add_node(leaf, sc_cost=cost, benefit=1.0)
+    coupons = draw(st.integers(min_value=0, max_value=num_friends))
+    return graph, coupons
+
+
+@settings(max_examples=60, deadline=None)
+@given(star_with_probabilities())
+def test_node_cost_non_negative_and_bounded(data):
+    graph, coupons = data
+    cost = node_expected_sc_cost(graph, "hub", coupons)
+    assert cost >= 0.0
+    # Upper bound: every friend redeems with certainty.
+    upper = sum(graph.sc_cost(leaf) for leaf in graph.out_neighbors("hub"))
+    assert cost <= upper + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(star_with_probabilities())
+def test_node_cost_monotone_in_coupons(data):
+    graph, _ = data
+    degree = graph.out_degree("hub")
+    costs = [node_expected_sc_cost(graph, "hub", k) for k in range(degree + 1)]
+    for smaller, larger in zip(costs, costs[1:]):
+        assert larger >= smaller - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(star_with_probabilities(), star_with_probabilities())
+def test_total_cost_is_modular_across_holders(first, second):
+    """Csc is additive over coupon holders (Lemma 1: the cost is modular)."""
+    graph = SocialGraph()
+    for prefix, (source_graph, _) in (("a", first), ("b", second)):
+        for node in source_graph.nodes():
+            graph.add_node(
+                f"{prefix}{node}",
+                sc_cost=source_graph.sc_cost(node),
+                benefit=1.0,
+            )
+        for u, v, p in source_graph.edges():
+            graph.add_edge(f"{prefix}{u}", f"{prefix}{v}", p)
+    allocation_a = {"ahub": first[1]}
+    allocation_b = {"bhub": second[1]}
+    combined = {**allocation_a, **allocation_b}
+    separate = expected_sc_cost(graph, allocation_a) + expected_sc_cost(
+        graph, allocation_b
+    )
+    assert expected_sc_cost(graph, combined) == abs_approx(separate)
+
+
+def abs_approx(value, tolerance=1e-9):
+    import pytest
+
+    return pytest.approx(value, abs=tolerance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(star_with_probabilities())
+def test_full_allocation_cost_equals_sum_of_probability_weighted_costs(data):
+    """With k = out-degree every friend has a reserved coupon."""
+    graph, _ = data
+    degree = graph.out_degree("hub")
+    expected = sum(
+        graph.sc_cost(leaf) * probability
+        for leaf, probability in graph.out_neighbors("hub").items()
+    )
+    assert node_expected_sc_cost(graph, "hub", degree) == abs_approx(expected)

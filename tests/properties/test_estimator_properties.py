@@ -1,0 +1,104 @@
+"""Property-based consistency tests between the two benefit estimators.
+
+On small random instances the Monte-Carlo estimator (with many shared worlds)
+must agree with the exact world-enumeration estimator, and both must respect
+the structural invariants of the cascade: monotonicity in seeds and in the
+allocation, and benefits bounded by the total benefit of the coupon-reachable
+closure.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.diffusion.sc_cascade import reachable_with_coupons
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def small_instance(draw):
+    """A random graph with at most 8 edges so exact enumeration stays cheap."""
+    num_nodes = draw(st.integers(min_value=2, max_value=6))
+    nodes = list(range(num_nodes))
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(
+            node,
+            benefit=draw(st.floats(min_value=0.0, max_value=5.0)),
+            sc_cost=1.0,
+            seed_cost=1.0,
+        )
+    possible = [(u, v) for u in nodes for v in nodes if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=min(8, len(possible)), unique=True)
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target, draw(st.floats(min_value=0.0, max_value=1.0)))
+    seeds = draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=2, unique=True))
+    allocation = {}
+    for node in nodes:
+        degree = graph.out_degree(node)
+        if degree:
+            allocation[node] = draw(st.integers(min_value=0, max_value=degree))
+    return graph, seeds, allocation
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_instance())
+def test_monte_carlo_converges_to_exact(data):
+    graph, seeds, allocation = data
+    exact = ExactEstimator(graph).expected_benefit(seeds, allocation)
+    monte_carlo = MonteCarloEstimator(graph, num_samples=3000, seed=1).expected_benefit(
+        seeds, allocation
+    )
+    assert monte_carlo == pytest.approx(exact, abs=0.35)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_instance())
+def test_exact_benefit_monotone_in_seeds(data):
+    graph, seeds, allocation = data
+    estimator = ExactEstimator(graph)
+    smaller = estimator.expected_benefit(seeds[:1], allocation)
+    larger = estimator.expected_benefit(seeds, allocation)
+    assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_instance())
+def test_exact_benefit_monotone_in_allocation(data):
+    graph, seeds, allocation = data
+    estimator = ExactEstimator(graph)
+    base = estimator.expected_benefit(seeds, allocation)
+    saturated = {
+        node: graph.out_degree(node) for node in graph.nodes() if graph.out_degree(node)
+    }
+    assert estimator.expected_benefit(seeds, saturated) >= base - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_instance())
+def test_exact_benefit_bounded_by_reachable_closure(data):
+    graph, seeds, allocation = data
+    estimator = ExactEstimator(graph)
+    benefit = estimator.expected_benefit(seeds, allocation)
+    closure = reachable_with_coupons(graph, seeds, allocation)
+    upper = sum(graph.benefit(node) for node in closure)
+    lower = sum(graph.benefit(node) for node in seeds if node in graph)
+    assert lower - 1e-9 <= benefit <= upper + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_instance())
+def test_activation_probabilities_bounded_and_consistent(data):
+    graph, seeds, allocation = data
+    estimator = ExactEstimator(graph)
+    probabilities = estimator.activation_probabilities(seeds, allocation)
+    for node, probability in probabilities.items():
+        assert -1e-9 <= probability <= 1.0 + 1e-9
+    for seed in seeds:
+        assert probabilities[seed] == pytest.approx(1.0)
+    weighted = sum(graph.benefit(n) * p for n, p in probabilities.items())
+    assert weighted == pytest.approx(estimator.expected_benefit(seeds, allocation))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface (run in-process with tiny settings)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--scale", "0.08", "--samples", "15", "--candidate-limit", "3",
+        "--pivot-limit", "6", "--seed", "3"]
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_unknown_dataset():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["solve", "--dataset", "myspace"])
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--scale", "0.08"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "douban" in out
+
+
+def test_solve_command(capsys):
+    assert main(["solve", "--dataset", "facebook", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "S3CA on" in out
+    assert "redemption_rate" in out
+
+
+def test_solve_command_full_budget_flag(capsys):
+    assert main(["solve", "--dataset", "facebook", "--spend-full-budget", *TINY]) == 0
+    assert "redemption_rate" in capsys.readouterr().out
+
+
+def test_compare_command_without_im_s(capsys):
+    assert main(["compare", "--dataset", "facebook", "--no-im-s", *TINY]) == 0
+    out = capsys.readouterr().out
+    for name in ("IM-U", "IM-L", "PM-U", "PM-L", "S3CA"):
+        assert name in out
+    assert "IM-S" not in out
+
+
+def test_sweep_budget_command(capsys):
+    assert main([
+        "sweep-budget", "--dataset", "facebook", "--budgets", "30", "60", *TINY
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Redemption rate vs budget" in out
+    assert "Total benefit vs budget" in out
+
+
+def test_case_study_command(capsys):
+    assert main([
+        "case-study", "--policy", "booking", "--margins", "0.4", "0.6", *TINY
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "booking" in out
+    assert "gross_margin" in out

@@ -1,0 +1,89 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests run the complete comparison the paper's evaluation performs —
+every baseline plus S3CA, sharing a single Monte-Carlo estimator — on small
+scenarios, and check the headline claims that should hold at any scale:
+budget feasibility for every algorithm and S3CA winning (or tying) the
+redemption rate.
+"""
+
+import pytest
+
+from repro.baselines.coupon_wrappers import make_im_l, make_im_u, make_pm_l, make_pm_u
+from repro.baselines.im_s import IMShortestPath
+from repro.baselines.random_policy import RandomPolicy
+from repro.core.s3ca import S3CA
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.datasets import build_scenario, toy_scenario
+
+
+@pytest.fixture(scope="module")
+def small_facebook():
+    return build_scenario("facebook", scale=0.1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def shared_estimator(small_facebook):
+    return MonteCarloEstimator(small_facebook.graph, num_samples=40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def all_results(small_facebook, shared_estimator):
+    scenario, estimator = small_facebook, shared_estimator
+    results = {}
+    for name, algorithm in {
+        "IM-U": make_im_u(scenario, estimator=estimator),
+        "IM-L": make_im_l(scenario, estimator=estimator),
+        "PM-U": make_pm_u(scenario, estimator=estimator),
+        "PM-L": make_pm_l(scenario, estimator=estimator),
+        "IM-S": IMShortestPath(scenario, estimator=estimator),
+        "Random": RandomPolicy(scenario, estimator=estimator, seed=3),
+    }.items():
+        results[name] = algorithm.run()
+    results["S3CA"] = S3CA(
+        scenario, estimator=estimator, candidate_limit=6, max_pivot_candidates=15,
+        max_paths_per_seed=30,
+    ).solve()
+    return results
+
+
+def test_every_algorithm_respects_budget(small_facebook, all_results):
+    for name, result in all_results.items():
+        total_cost = (
+            result.total_cost if hasattr(result, "total_cost") else None
+        )
+        assert total_cost is not None
+        assert total_cost <= small_facebook.budget_limit + 1e-6, name
+
+
+def test_s3ca_wins_redemption_rate(all_results):
+    s3ca_rate = all_results["S3CA"].redemption_rate
+    for name, result in all_results.items():
+        if name == "S3CA":
+            continue
+        assert s3ca_rate >= result.redemption_rate - 1e-6, (
+            f"S3CA ({s3ca_rate:.4f}) lost to {name} ({result.redemption_rate:.4f})"
+        )
+
+
+def test_s3ca_beats_random_strictly(all_results):
+    assert all_results["S3CA"].redemption_rate > all_results["Random"].redemption_rate
+
+
+def test_all_allocations_within_degree_bounds(small_facebook, all_results):
+    graph = small_facebook.graph
+    for name, result in all_results.items():
+        allocation = (
+            result.allocation if isinstance(result.allocation, dict)
+            else result.allocation
+        )
+        for node, coupons in allocation.items():
+            assert 0 < coupons <= graph.out_degree(node), name
+
+
+def test_toy_scenario_full_pipeline_repeatable():
+    scenario = toy_scenario()
+    first = S3CA(scenario, num_samples=60, seed=5).solve()
+    second = S3CA(scenario, num_samples=60, seed=5).solve()
+    assert first.seeds == second.seeds
+    assert first.redemption_rate == pytest.approx(second.redemption_rate)

@@ -1,0 +1,44 @@
+"""Tests for the package-level public API surface."""
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+
+def test_headline_classes_importable_from_top_level():
+    assert repro.S3CA is not None
+    assert repro.SocialGraph is not None
+    assert repro.Scenario is not None
+    assert repro.MonteCarloEstimator is not None
+    assert repro.LimitedCouponStrategy is not None
+
+
+def test_quickstart_flow_from_readme():
+    scenario = repro.toy_scenario()
+    estimator = repro.MonteCarloEstimator(scenario.graph, num_samples=50, seed=7)
+    result = repro.S3CA(scenario, estimator=estimator).solve()
+    assert result.redemption_rate > 0
+    assert set(result.allocation) <= set(scenario.graph.nodes())
+
+
+def test_named_dataset_export():
+    scenario = repro.named_dataset("facebook", scale=0.1, seed=1)
+    assert scenario.num_nodes >= 20
+
+
+def test_exception_hierarchy_exposed():
+    assert issubclass(repro.ReproError, Exception)
+    from repro.exceptions import AllocationError, BudgetError, GraphError
+
+    for exc in (AllocationError, BudgetError, GraphError):
+        assert issubclass(exc, repro.ReproError)

@@ -1,0 +1,100 @@
+"""Tests for the indexed max-heap used by the greedy phases."""
+
+import pytest
+
+from repro.utils.indexed_heap import IndexedMaxHeap
+
+
+def test_push_and_pop_in_priority_order():
+    heap = IndexedMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 3.0)
+    heap.push("c", 2.0)
+    assert heap.pop() == ("b", 3.0)
+    assert heap.pop() == ("c", 2.0)
+    assert heap.pop() == ("a", 1.0)
+
+
+def test_len_and_contains():
+    heap = IndexedMaxHeap()
+    assert len(heap) == 0
+    heap.push("x", 5.0)
+    assert len(heap) == 1
+    assert "x" in heap
+    assert "y" not in heap
+
+
+def test_peek_does_not_remove():
+    heap = IndexedMaxHeap()
+    heap.push("x", 5.0)
+    heap.push("y", 7.0)
+    assert heap.peek() == ("y", 7.0)
+    assert len(heap) == 2
+
+
+def test_pop_empty_raises():
+    heap = IndexedMaxHeap()
+    with pytest.raises(IndexError):
+        heap.pop()
+    with pytest.raises(IndexError):
+        heap.peek()
+
+
+def test_push_existing_key_updates_priority():
+    heap = IndexedMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    heap.push("a", 10.0)
+    assert len(heap) == 2
+    assert heap.pop() == ("a", 10.0)
+
+
+def test_update_increases_and_decreases():
+    heap = IndexedMaxHeap()
+    for key, priority in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+        heap.push(key, priority)
+    heap.update("a", 5.0)
+    heap.update("c", 0.5)
+    assert [heap.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_remove_returns_priority_and_keeps_heap_valid():
+    heap = IndexedMaxHeap()
+    for key, priority in [("a", 1.0), ("b", 4.0), ("c", 3.0), ("d", 2.0)]:
+        heap.push(key, priority)
+    assert heap.remove("b") == 4.0
+    assert "b" not in heap
+    assert [heap.pop()[0] for _ in range(3)] == ["c", "d", "a"]
+
+
+def test_priority_and_get():
+    heap = IndexedMaxHeap()
+    heap.push("a", 1.5)
+    assert heap.priority("a") == 1.5
+    assert heap.get("a") == 1.5
+    assert heap.get("missing") is None
+    assert heap.get("missing", -1.0) == -1.0
+
+
+def test_ties_broken_by_insertion_order():
+    heap = IndexedMaxHeap()
+    heap.push("first", 2.0)
+    heap.push("second", 2.0)
+    heap.push("third", 2.0)
+    assert [heap.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_many_items_sorted():
+    heap = IndexedMaxHeap()
+    values = [(f"k{i}", float((i * 37) % 101)) for i in range(100)]
+    for key, priority in values:
+        heap.push(key, priority)
+    popped = [heap.pop()[1] for _ in range(len(values))]
+    assert popped == sorted((p for _, p in values), reverse=True)
+
+
+def test_iteration_yields_keys():
+    heap = IndexedMaxHeap()
+    heap.push("a", 1.0)
+    heap.push("b", 2.0)
+    assert set(iter(heap)) == {"a", "b"}

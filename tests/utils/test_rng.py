@@ -1,0 +1,53 @@
+"""Tests for the deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+def test_spawn_rng_from_int_is_deterministic():
+    first = spawn_rng(42).random(5)
+    second = spawn_rng(42).random(5)
+    assert np.allclose(first, second)
+
+
+def test_spawn_rng_passthrough_generator():
+    generator = np.random.default_rng(1)
+    assert spawn_rng(generator) is generator
+
+
+def test_spawn_rng_none_gives_generator():
+    assert isinstance(spawn_rng(None), np.random.Generator)
+
+
+def test_random_source_children_are_reproducible():
+    source_a = RandomSource(7)
+    source_b = RandomSource(7)
+    assert np.allclose(
+        source_a.child("cascade").random(4), source_b.child("cascade").random(4)
+    )
+
+
+def test_random_source_children_are_independent_by_name():
+    source = RandomSource(7)
+    first = source.child("one").random(4)
+    second = source.child("two").random(4)
+    assert not np.allclose(first, second)
+
+
+def test_random_source_child_is_cached():
+    source = RandomSource(3)
+    assert source.child("x") is source.child("x")
+
+
+def test_random_source_integers_in_range():
+    source = RandomSource(11)
+    for _ in range(20):
+        value = source.integers(0, 5)
+        assert 0 <= value < 5
+
+
+def test_random_source_from_generator():
+    source = RandomSource(np.random.default_rng(5))
+    child = source.child("anything")
+    assert isinstance(child, np.random.Generator)

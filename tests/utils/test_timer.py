@@ -1,0 +1,37 @@
+"""Tests for the wall-clock Timer helper."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+def test_context_manager_measures_elapsed():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.elapsed >= 0.005
+
+
+def test_stop_before_start_raises():
+    timer = Timer()
+    with pytest.raises(RuntimeError):
+        timer.stop()
+
+
+def test_elapsed_while_running_is_positive():
+    timer = Timer()
+    timer.start()
+    time.sleep(0.005)
+    assert timer.elapsed > 0
+    timer.stop()
+
+
+def test_restart_overwrites_previous_measurement():
+    timer = Timer()
+    timer.start()
+    time.sleep(0.01)
+    first = timer.stop()
+    timer.start()
+    second = timer.stop()
+    assert second <= first

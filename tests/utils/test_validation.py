@@ -1,0 +1,61 @@
+"""Tests for the shared argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e-9, 10**6])
+def test_require_positive_accepts(value):
+    assert require_positive(value, "x") == value
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_require_positive_rejects_non_positive(value):
+    with pytest.raises(ValueError):
+        require_positive(value, "x")
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf"), -float("inf")])
+def test_require_positive_rejects_non_finite(value):
+    with pytest.raises(ValueError):
+        require_positive(value, "x")
+
+
+def test_require_positive_rejects_non_numeric():
+    with pytest.raises(TypeError):
+        require_positive("3", "x")
+    with pytest.raises(TypeError):
+        require_positive(True, "x")
+
+
+@pytest.mark.parametrize("value", [0, 0.0, 2.5])
+def test_require_non_negative_accepts(value):
+    assert require_non_negative(value, "x") == value
+
+
+def test_require_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        require_non_negative(-0.001, "x")
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_require_probability_accepts(value):
+    assert require_probability(value, "p") == value
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1, math.inf])
+def test_require_probability_rejects_out_of_range(value):
+    with pytest.raises(ValueError):
+        require_probability(value, "p")
+
+
+def test_error_message_contains_name():
+    with pytest.raises(ValueError, match="budget"):
+        require_positive(-1, "budget")
