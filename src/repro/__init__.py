@@ -22,7 +22,9 @@ from repro.core.guaranteed_paths import GuaranteedPath, identify_guaranteed_path
 from repro.core.investment import InvestmentDeployment, InvestmentResult
 from repro.core.maneuver import SCManeuver
 from repro.core.s3ca import S3CA, S3CAResult
+from repro.diffusion.engine import CompiledCascadeEngine
 from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.factory import ESTIMATOR_METHODS, make_estimator
 from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
 from repro.diffusion.sc_cascade import CascadeResult, simulate_sc_cascade
 from repro.economics.budget import Budget
@@ -31,6 +33,7 @@ from repro.economics.scenario import Scenario, ScenarioBuilder
 from repro.exceptions import ReproError
 from repro.experiments.datasets import named_dataset, toy_scenario
 from repro.graph.attributes import NodeAttributes
+from repro.graph.csr import CompiledGraph
 from repro.graph.social_graph import SocialGraph
 
 __version__ = "1.0.0"
@@ -46,6 +49,10 @@ __all__ = [
     "SCManeuver",
     "S3CA",
     "S3CAResult",
+    "ESTIMATOR_METHODS",
+    "make_estimator",
+    "CompiledCascadeEngine",
+    "CompiledGraph",
     "ExactEstimator",
     "BenefitEstimator",
     "MonteCarloEstimator",

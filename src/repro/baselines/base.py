@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Set
 
 from repro.core.deployment import Deployment
-from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, make_estimator
 from repro.economics.scenario import Scenario
 from repro.utils.rng import SeedLike
 
@@ -91,13 +92,14 @@ class BaselineAlgorithm(ABC):
         scenario: Scenario,
         *,
         estimator: Optional[BenefitEstimator] = None,
+        estimator_method: str = DEFAULT_ESTIMATOR_METHOD,
         num_samples: int = 200,
         seed: SeedLike = None,
     ) -> None:
         self.scenario = scenario
         self.graph = scenario.graph
-        self.estimator = estimator or MonteCarloEstimator(
-            scenario.graph, num_samples=num_samples, seed=seed
+        self.estimator = estimator or make_estimator(
+            scenario, estimator_method, num_samples=num_samples, seed=seed
         )
 
     @abstractmethod

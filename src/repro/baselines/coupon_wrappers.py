@@ -27,7 +27,7 @@ from repro.baselines.base import BaselineAlgorithm
 from repro.baselines.influence_max import GreedyInfluenceMaximization
 from repro.baselines.profit_max import GreedyProfitMaximization
 from repro.core.deployment import Deployment
-from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator
 from repro.economics.coupons import (
     CouponStrategy,
     LimitedCouponStrategy,

@@ -21,6 +21,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.s3ca import S3CA
+from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, ESTIMATOR_METHODS
+from repro.exceptions import ReproError
 from repro.experiments.case_study import AIRBNB, BOOKING, case_study_series, run_case_study
 from repro.experiments.config import AlgorithmSpec, ExperimentConfig
 from repro.experiments.datasets import DATASET_SPECS, build_scenario, table2_rows
@@ -48,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=2019)
         sub.add_argument("--candidate-limit", type=int, default=8)
         sub.add_argument("--pivot-limit", type=int, default=20)
+        sub.add_argument(
+            "--estimator", default=DEFAULT_ESTIMATOR_METHOD,
+            choices=ESTIMATOR_METHODS,
+            help="benefit-estimator backend (mc-compiled is the fast CSR engine; "
+                 "mc is the reference dict path; rr ignores coupon allocations "
+                 "and is only meaningful for unlimited-coupon baselines)",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -87,6 +96,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         candidate_limit=args.candidate_limit,
         max_pivot_candidates=args.pivot_limit,
+        estimator_method=getattr(args, "estimator", DEFAULT_ESTIMATOR_METHOD),
     )
 
 
@@ -120,6 +130,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
     )
     result = S3CA(
         scenario,
+        estimator_method=config.estimator_method,
         num_samples=config.num_samples,
         seed=config.seed,
         candidate_limit=config.candidate_limit,
@@ -205,7 +216,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

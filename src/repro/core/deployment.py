@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.core.allocation import SCAllocation, expected_sc_cost
-from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator
 from repro.graph.social_graph import SocialGraph
 
 NodeId = Hashable

@@ -35,7 +35,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.deployment import Deployment
 from repro.core.marginal import MarginalEvaluation, MarginalRedemption
-from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator
 from repro.economics.scenario import Scenario
 from repro.utils.indexed_heap import IndexedMaxHeap
 

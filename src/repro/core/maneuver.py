@@ -33,7 +33,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.deployment import Deployment
 from repro.core.guaranteed_paths import GPIResult, GuaranteedPath
-from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator
 
 NodeId = Hashable
 

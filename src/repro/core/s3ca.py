@@ -26,6 +26,7 @@ True
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Set
 
@@ -33,7 +34,9 @@ from repro.core.deployment import Deployment
 from repro.core.guaranteed_paths import identify_guaranteed_paths
 from repro.core.investment import InvestmentDeployment
 from repro.core.maneuver import SCManeuver
-from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, make_estimator
+from repro.diffusion.rr_sets import RRBenefitEstimator
 from repro.economics.scenario import Scenario
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Timer
@@ -91,10 +94,11 @@ class S3CA:
         The S3CRM instance to solve.
     estimator:
         Optional pre-built expected-benefit estimator (sharing one across
-        algorithms makes comparisons noise-free); when omitted a
-        :class:`MonteCarloEstimator` with ``num_samples`` worlds is created.
-    num_samples / seed:
-        Parameters of the default Monte-Carlo estimator.
+        algorithms makes comparisons noise-free); when omitted one is built
+        through :func:`repro.diffusion.factory.make_estimator`.
+    estimator_method / num_samples / seed:
+        Factory method name and parameters of the default estimator (the
+        compiled Monte-Carlo backend with ``num_samples`` worlds).
     candidate_limit:
         Cap on the number of coupon candidates scored per ID iteration
         (``None`` = all influenced users, the pseudo-code's behaviour).
@@ -119,6 +123,7 @@ class S3CA:
         scenario: Scenario,
         *,
         estimator: Optional[BenefitEstimator] = None,
+        estimator_method: str = DEFAULT_ESTIMATOR_METHOD,
         num_samples: int = 200,
         seed: SeedLike = None,
         candidate_limit: Optional[int] = None,
@@ -130,9 +135,17 @@ class S3CA:
         spend_full_budget: bool = False,
     ) -> None:
         self.scenario = scenario
-        self.estimator = estimator or MonteCarloEstimator(
-            scenario.graph, num_samples=num_samples, seed=seed
+        self.estimator = estimator or make_estimator(
+            scenario, estimator_method, num_samples=num_samples, seed=seed
         )
+        if isinstance(self.estimator, RRBenefitEstimator):
+            warnings.warn(
+                "the 'rr' estimator ignores coupon allocations (plain-IC "
+                "regime); S3CA's coupon phases will see zero marginal benefit "
+                "and degenerate to seeds-only deployments — use 'mc-compiled' "
+                "for coupon-aware optimisation",
+                stacklevel=2,
+            )
         self.candidate_limit = candidate_limit
         self.max_pivot_candidates = max_pivot_candidates
         self.max_paths_per_seed = max_paths_per_seed

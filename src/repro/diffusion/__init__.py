@@ -4,24 +4,43 @@ The diffusion subpackage implements the SC-constrained independent cascade of
 Sec. III (``sc_cascade``), the plain independent cascade it reduces to under
 the unlimited coupon strategy (``independent_cascade``), live-edge world
 realisations shared across estimator calls (``live_edge``), the Monte-Carlo
-expected-benefit estimator used by every algorithm (``monte_carlo``) and an
-exact world-enumeration estimator for tiny graphs (``exact``).
+expected-benefit estimator used by every algorithm (``monte_carlo``) with its
+two cascade backends — the dict-adjacency reference path and the compiled
+CSR + vectorized engine (``engine``) — an exact world-enumeration estimator
+for tiny graphs (``exact``) and reverse-reachable-set estimation for the
+plain-IC regime (``rr_sets``).
+
+Construct estimators through :func:`make_estimator` (``factory``) rather than
+instantiating classes directly; the factory is the single switch point for
+the ``mc-compiled`` / ``mc`` / ``exact`` / ``rr`` methods.
 """
 
 from repro.diffusion.independent_cascade import simulate_independent_cascade
 from repro.diffusion.live_edge import LiveEdgeWorld, sample_worlds
-from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.diffusion.monte_carlo import MonteCarloEstimator
 from repro.diffusion.exact import ExactEstimator
-from repro.diffusion.rr_sets import RRSetSampler, estimate_spread_rr
+from repro.diffusion.factory import (
+    DEFAULT_ESTIMATOR_METHOD,
+    ESTIMATOR_METHODS,
+    make_estimator,
+)
+from repro.diffusion.rr_sets import RRBenefitEstimator, RRSetSampler, estimate_spread_rr
 from repro.diffusion.sc_cascade import CascadeResult, simulate_sc_cascade
 
 __all__ = [
+    "DEFAULT_ESTIMATOR_METHOD",
+    "ESTIMATOR_METHODS",
+    "RRBenefitEstimator",
     "RRSetSampler",
     "estimate_spread_rr",
+    "make_estimator",
     "simulate_independent_cascade",
     "LiveEdgeWorld",
     "sample_worlds",
     "BenefitEstimator",
+    "CompiledCascadeEngine",
     "MonteCarloEstimator",
     "ExactEstimator",
     "CascadeResult",

@@ -1,0 +1,81 @@
+"""The unified expected-benefit estimator interface.
+
+Every algorithm in the library — S3CA's greedy phases, the IM/PM/IM-S
+baselines, the exhaustive optimal solver — prices candidate deployments
+through one abstract contract: :class:`BenefitEstimator`.  Four
+implementations exist, selectable through
+:func:`repro.diffusion.factory.make_estimator`:
+
+``mc-compiled``
+    :class:`~repro.diffusion.monte_carlo.MonteCarloEstimator` running on the
+    compiled CSR backend (:mod:`repro.graph.csr`) with the vectorized cascade
+    engine (:mod:`repro.diffusion.engine`).  The default.
+``mc``
+    The same estimator on the original dict-adjacency cascade.  Bit-for-bit
+    the same activation probabilities for a fixed seed; kept as the reference
+    implementation and for graphs mutated after estimator construction.
+``exact``
+    :class:`~repro.diffusion.exact.ExactEstimator` — world enumeration,
+    tractable only for tens of edges.
+``rr``
+    :class:`~repro.diffusion.rr_sets.RRBenefitEstimator` — reverse-reachable
+    set sampling; fast, but only valid for the unlimited-coupon (plain IC)
+    regime.
+
+The ABC lives in its own module so that the core, baseline and experiment
+layers can depend on the interface without importing any concrete backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.graph.social_graph import SocialGraph
+
+NodeId = Hashable
+DeploymentKey = Tuple[FrozenSet, Tuple]
+
+
+class BenefitEstimator(ABC):
+    """Interface shared by every expected-benefit estimator."""
+
+    def __init__(self, graph: SocialGraph) -> None:
+        self.graph = graph
+
+    @abstractmethod
+    def expected_benefit(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> float:
+        """Expected total benefit of activated users under the deployment."""
+
+    @abstractmethod
+    def activation_probabilities(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> Dict[NodeId, float]:
+        """Per-user probability of ending up activated."""
+
+    def expected_spread(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> float:
+        """Expected number of activated users (benefit with all benefits = 1)."""
+        return sum(self.activation_probabilities(seeds, allocation).values())
+
+    def likely_activated(
+        self,
+        seeds: Iterable[NodeId],
+        allocation: Mapping[NodeId, int],
+        threshold: float = 0.0,
+    ) -> Set[NodeId]:
+        """Users whose activation probability exceeds ``threshold``."""
+        probabilities = self.activation_probabilities(seeds, allocation)
+        return {node for node, prob in probabilities.items() if prob > threshold}
+
+    @staticmethod
+    def _key(
+        seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> DeploymentKey:
+        return (
+            frozenset(seeds),
+            tuple(sorted((node, int(k)) for node, k in allocation.items() if k > 0)),
+        )

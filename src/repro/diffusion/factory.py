@@ -1,0 +1,92 @@
+"""Estimator factory: one construction point for every benefit estimator.
+
+The algorithms (S3CA, the baselines, the experiment runner, the CLI) never
+instantiate estimator classes directly; they ask :func:`make_estimator` for
+one by method name.  This keeps backend selection in one place, lets a single
+``--estimator`` flag reach every layer, and means new backends (sharded world
+sampling, multiprocess estimation, ...) only need to be registered here.
+
+>>> from repro.experiments.datasets import toy_scenario
+>>> estimator = make_estimator(toy_scenario(), "mc-compiled", num_samples=50, seed=7)
+>>> estimator.backend
+'compiled'
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.exact import ExactEstimator
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.diffusion.rr_sets import RRBenefitEstimator
+from repro.exceptions import EstimationError
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import SeedLike
+
+#: Method names accepted by :func:`make_estimator`.
+ESTIMATOR_METHODS = ("mc-compiled", "mc", "exact", "rr")
+
+DEFAULT_ESTIMATOR_METHOD = "mc-compiled"
+
+
+def make_estimator(
+    scenario_or_graph: Union["SocialGraph", object],
+    method: str = DEFAULT_ESTIMATOR_METHOD,
+    *,
+    num_samples: int = 200,
+    seed: SeedLike = None,
+    cache_size: int = 50_000,
+    max_exact_edges: int = 20,
+    num_rr_sets: Optional[int] = None,
+) -> BenefitEstimator:
+    """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
+
+    Parameters
+    ----------
+    scenario_or_graph:
+        A :class:`~repro.economics.scenario.Scenario` or the
+        :class:`SocialGraph` itself.
+    method:
+        ``"mc-compiled"`` — Monte-Carlo on the compiled CSR backend (default);
+        ``"mc"`` — Monte-Carlo on the dict-adjacency reference backend;
+        ``"exact"`` — exhaustive world enumeration (tiny graphs only);
+        ``"rr"`` — reverse-reachable sets (plain-IC / unlimited-coupon regime
+        only; ignores the allocation).
+    num_samples / seed / cache_size:
+        Monte-Carlo knobs; ``seed`` also drives the RR sampler.
+    max_exact_edges:
+        Edge cap forwarded to :class:`ExactEstimator`.
+    num_rr_sets:
+        RR-set count; defaults to ``max(2000, 25 * num_nodes)`` so every node
+        gets a usable number of rooted samples.
+    """
+    graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
+    if not isinstance(graph, SocialGraph):
+        raise EstimationError(
+            f"expected a Scenario or SocialGraph, got {type(scenario_or_graph)!r}"
+        )
+    if method == "mc-compiled":
+        return MonteCarloEstimator(
+            graph,
+            num_samples=num_samples,
+            seed=seed,
+            cache_size=cache_size,
+            backend="compiled",
+        )
+    if method == "mc":
+        return MonteCarloEstimator(
+            graph,
+            num_samples=num_samples,
+            seed=seed,
+            cache_size=cache_size,
+            backend="dict",
+        )
+    if method == "exact":
+        return ExactEstimator(graph, max_edges=max_exact_edges)
+    if method == "rr":
+        num_sets = num_rr_sets or max(2000, 25 * graph.num_nodes)
+        return RRBenefitEstimator(graph, num_sets=num_sets, seed=seed)
+    raise EstimationError(
+        f"unknown estimator method {method!r}; expected one of {ESTIMATOR_METHODS}"
+    )

@@ -8,6 +8,12 @@ succeeds exactly when its edge is live.  Sharing the same set of worlds across
 the deployments compared inside a greedy iteration (common random numbers)
 makes marginal-redemption comparisons far less noisy than independent
 simulations, which is essential for the greedy phases of S3CA.
+
+This module is the *reference* implementation of world sampling and the
+in-world cascade.  The compiled backend
+(:class:`repro.diffusion.engine.CompiledCascadeEngine`) reproduces it bit for
+bit on CSR arrays and is the default in production paths; keep the two in
+lockstep when changing cascade semantics.
 """
 
 from __future__ import annotations

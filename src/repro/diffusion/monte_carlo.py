@@ -10,66 +10,49 @@ numbers) means the *difference* between two deployments — which is what greedy
 decisions compare — has much lower variance than with independent sampling,
 and it makes the whole pipeline deterministic for a given seed.
 
+Two interchangeable cascade backends execute the worlds:
+
+``compiled`` (the default)
+    The graph is compiled once into CSR arrays
+    (:class:`~repro.graph.csr.CompiledGraph`) and all coin flips are drawn as
+    flat masks by the vectorized
+    :class:`~repro.diffusion.engine.CompiledCascadeEngine`.  One pass yields
+    both the expected benefit and the activation counts, so an
+    ``expected_benefit`` call warms the ``activation_probabilities`` cache
+    and vice versa.
+``dict``
+    The original implementation over ``SocialGraph``'s adjacency dicts and
+    :func:`~repro.diffusion.live_edge.cascade_in_world`.  Kept as the
+    reference semantics and for graphs that are mutated after the estimator
+    is built (the compiled backend snapshots the graph at construction).
+
+Both backends consume the RNG stream identically, so for a fixed seed they
+produce the *same worlds* and the same activation probabilities, bit for bit;
+expected benefits can differ in the last few ulps only (floating-point
+summation order).
+
 Results are memoised on the (frozen) deployment, because the greedy loops of
 S3CA re-evaluate the same base deployment against many candidate increments.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
 
+import numpy as np
+
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.diffusion.estimator import BenefitEstimator, DeploymentKey
 from repro.diffusion.live_edge import LiveEdgeWorld, cascade_in_world, sample_worlds
 from repro.exceptions import EstimationError
 from repro.graph.social_graph import SocialGraph
 from repro.utils.rng import SeedLike
 
 NodeId = Hashable
-DeploymentKey = Tuple[FrozenSet, Tuple]
 
+__all__ = ["BenefitEstimator", "MonteCarloEstimator"]
 
-class BenefitEstimator(ABC):
-    """Interface shared by the Monte-Carlo and exact estimators."""
-
-    def __init__(self, graph: SocialGraph) -> None:
-        self.graph = graph
-
-    @abstractmethod
-    def expected_benefit(
-        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
-    ) -> float:
-        """Expected total benefit of activated users under the deployment."""
-
-    @abstractmethod
-    def activation_probabilities(
-        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
-    ) -> Dict[NodeId, float]:
-        """Per-user probability of ending up activated."""
-
-    def expected_spread(
-        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
-    ) -> float:
-        """Expected number of activated users (benefit with all benefits = 1)."""
-        return sum(self.activation_probabilities(seeds, allocation).values())
-
-    def likely_activated(
-        self,
-        seeds: Iterable[NodeId],
-        allocation: Mapping[NodeId, int],
-        threshold: float = 0.0,
-    ) -> Set[NodeId]:
-        """Users whose activation probability exceeds ``threshold``."""
-        probabilities = self.activation_probabilities(seeds, allocation)
-        return {node for node, prob in probabilities.items() if prob > threshold}
-
-    @staticmethod
-    def _key(
-        seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
-    ) -> DeploymentKey:
-        return (
-            frozenset(seeds),
-            tuple(sorted((node, int(k)) for node, k in allocation.items() if k > 0)),
-        )
+_BACKENDS = ("auto", "compiled", "dict")
 
 
 class MonteCarloEstimator(BenefitEstimator):
@@ -88,6 +71,9 @@ class MonteCarloEstimator(BenefitEstimator):
         Maximum number of memoised deployments; the cache is cleared wholesale
         when it grows past this bound (the greedy loops have strong temporal
         locality, so a simple policy is sufficient).
+    backend:
+        ``"compiled"`` (CSR + vectorized engine), ``"dict"`` (the original
+        adjacency-dict cascade) or ``"auto"`` (currently ``compiled``).
     """
 
     def __init__(
@@ -97,15 +83,24 @@ class MonteCarloEstimator(BenefitEstimator):
         seed: SeedLike = None,
         *,
         cache_size: int = 50_000,
+        backend: str = "auto",
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
             raise EstimationError(f"num_samples must be > 0, got {num_samples}")
+        if backend not in _BACKENDS:
+            raise EstimationError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
         self.num_samples = int(num_samples)
         self.cache_size = int(cache_size)
-        self._worlds: Tuple[LiveEdgeWorld, ...] = tuple(
-            sample_worlds(graph, self.num_samples, seed)
-        )
+        self.backend = "compiled" if backend == "auto" else backend
+        self._worlds: Tuple[LiveEdgeWorld, ...] = ()
+        self._engine = None
+        if self.backend == "compiled":
+            self._engine = CompiledCascadeEngine(graph, self.num_samples, seed)
+        else:
+            self._worlds = tuple(sample_worlds(graph, self.num_samples, seed))
         self._benefit_cache: Dict[DeploymentKey, float] = {}
         self._probability_cache: Dict[DeploymentKey, Dict[NodeId, float]] = {}
         self.evaluations = 0
@@ -120,8 +115,11 @@ class MonteCarloEstimator(BenefitEstimator):
         cached = self._benefit_cache.get(key)
         if cached is not None:
             return cached
-        benefit = self._evaluate_benefit(seeds, allocation)
-        self._remember(self._benefit_cache, key, benefit)
+        if self._engine is not None:
+            benefit = self._evaluate_compiled(key, seeds, allocation)[1]
+        else:
+            benefit = self._evaluate_benefit(seeds, allocation)
+            self._remember(self._benefit_cache, key, benefit)
         return benefit
 
     def activation_probabilities(
@@ -132,6 +130,8 @@ class MonteCarloEstimator(BenefitEstimator):
         cached = self._probability_cache.get(key)
         if cached is not None:
             return dict(cached)
+        if self._engine is not None:
+            return dict(self._evaluate_compiled(key, seeds, allocation)[0])
         counts: Dict[NodeId, int] = {}
         for world in self._worlds:
             for node in cascade_in_world(self.graph, world, seeds, allocation):
@@ -161,6 +161,25 @@ class MonteCarloEstimator(BenefitEstimator):
         self._probability_cache.clear()
 
     # ------------------------------------------------------------------
+
+    def _evaluate_compiled(
+        self,
+        key: DeploymentKey,
+        seeds: Iterable[NodeId],
+        allocation: Mapping[NodeId, int],
+    ) -> Tuple[Dict[NodeId, float], float]:
+        """One engine pass; memoise both the benefit and the probabilities."""
+        counts, benefit = self._engine.run(seeds, allocation)
+        node_ids = self._engine.compiled.node_ids
+        num_samples = self.num_samples
+        probabilities = {
+            node_ids[int(node_index)]: int(counts[node_index]) / num_samples
+            for node_index in np.flatnonzero(counts)
+        }
+        self._remember(self._benefit_cache, key, benefit)
+        self._remember(self._probability_cache, key, probabilities)
+        self.evaluations += 1
+        return probabilities, benefit
 
     def _evaluate_benefit(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]

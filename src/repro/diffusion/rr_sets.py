@@ -20,8 +20,19 @@ neighbours redeemed first.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+)
 
+from repro.diffusion.estimator import BenefitEstimator
 from repro.exceptions import EstimationError
 from repro.graph.social_graph import SocialGraph
 from repro.utils.indexed_heap import IndexedMaxHeap
@@ -54,6 +65,7 @@ class RRSetSampler:
         self._nodes: List[NodeId] = list(graph.nodes())
         if not self._nodes:
             raise EstimationError("cannot sample RR sets of an empty graph")
+        self.roots: List[NodeId] = []
         self.rr_sets: List[FrozenSet[NodeId]] = [
             self._sample_one() for _ in range(self.num_sets)
         ]
@@ -63,6 +75,7 @@ class RRSetSampler:
     def _sample_one(self) -> FrozenSet[NodeId]:
         """One RR set: reverse BFS from a random target over live in-edges."""
         target = self._nodes[int(self._rng.integers(0, len(self._nodes)))]
+        self.roots.append(target)
         visited: Set[NodeId] = {target}
         frontier = deque([target])
         while frontier:
@@ -124,6 +137,63 @@ class RRSetSampler:
             for other in stale:
                 stale[other] = True
         return selected
+
+
+class RRBenefitEstimator(BenefitEstimator):
+    """RR-set-backed :class:`BenefitEstimator` for the plain-IC regime.
+
+    The RR-set argument applies to the **unlimited-coupon** relaxation of the
+    SC-constrained cascade (plain IC): the coupon allocation passed to
+    :meth:`expected_benefit` / :meth:`activation_probabilities` is ignored and
+    every activated user is assumed able to refer all her friends.  That makes
+    this estimator an *upper-bound* oracle — useful for the IM-U/PM-U
+    baselines, for candidate pre-screening, and for cross-checking the
+    Monte-Carlo estimator — but NOT a drop-in replacement inside the coupon
+    aware greedy phases; use the ``mc-compiled`` method there.
+
+    A node's activation probability is estimated from the RR sets *rooted at
+    that node*: ``P(v active | S) ~ fraction of RR(v) samples hit by S``.
+    With ``num_sets`` samples spread uniformly over roots, each node gets
+    about ``num_sets / n`` of them, so size ``num_sets`` accordingly (the
+    factory defaults to a multiple of ``n``).
+    """
+
+    def __init__(
+        self, graph: SocialGraph, num_sets: int = 2000, seed: SeedLike = None
+    ) -> None:
+        super().__init__(graph)
+        self.sampler = RRSetSampler(graph, num_sets=num_sets, seed=seed)
+        self._by_root: Dict[NodeId, List[int]] = {}
+        for index, root in enumerate(self.sampler.roots):
+            self._by_root.setdefault(root, []).append(index)
+
+    def activation_probabilities(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> Dict[NodeId, float]:
+        seed_set = {seed for seed in seeds if seed in self.graph}
+        if not seed_set:
+            return {}
+        rr_sets = self.sampler.rr_sets
+        probabilities: Dict[NodeId, float] = {}
+        for root, indices in self._by_root.items():
+            hit = sum(
+                1 for index in indices if not seed_set.isdisjoint(rr_sets[index])
+            )
+            if hit:
+                probabilities[root] = hit / len(indices)
+        for seed in seed_set:  # seeds are certainly active, sampled or not
+            probabilities[seed] = 1.0
+        return probabilities
+
+    def expected_benefit(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> float:
+        probabilities = self.activation_probabilities(seeds, allocation)
+        graph = self.graph
+        return sum(
+            graph.benefit(node) * probability
+            for node, probability in probabilities.items()
+        )
 
 
 def estimate_spread_rr(

@@ -22,8 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.exhaustive import ExhaustiveSearch
 from repro.core.s3ca import S3CA
-from repro.diffusion.exact import ExactEstimator
-from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.factory import make_estimator
 from repro.economics.scenario import Scenario, ScenarioBuilder
 from repro.exceptions import EstimationError
 from repro.experiments.config import ExperimentConfig
@@ -126,10 +126,15 @@ def compare_with_optimal(
     config = config or ExperimentConfig()
     if estimator is None:
         try:
-            estimator = ExactEstimator(scenario.graph, max_edges=max_exact_edges)
+            estimator = make_estimator(
+                scenario, "exact", max_exact_edges=max_exact_edges
+            )
         except EstimationError:
-            estimator = MonteCarloEstimator(
-                scenario.graph, num_samples=config.num_samples, seed=config.seed
+            estimator = make_estimator(
+                scenario,
+                config.estimator_method,
+                num_samples=config.num_samples,
+                seed=config.seed,
             )
 
     s3ca_result = S3CA(

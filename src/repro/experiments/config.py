@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, ESTIMATOR_METHODS
 from repro.exceptions import ExperimentError
 
 
@@ -45,8 +46,14 @@ class ExperimentConfig:
     candidate_limit: Optional[int] = 25
     max_pivot_candidates: Optional[int] = 150
     limited_coupons: int = 32
+    estimator_method: str = DEFAULT_ESTIMATOR_METHOD
 
     def __post_init__(self) -> None:
+        if self.estimator_method not in ESTIMATOR_METHODS:
+            raise ExperimentError(
+                f"estimator_method must be one of {ESTIMATOR_METHODS}, "
+                f"got {self.estimator_method!r}"
+            )
         if self.scale <= 0:
             raise ExperimentError(f"scale must be > 0, got {self.scale}")
         if self.num_samples <= 0:

@@ -17,7 +17,8 @@ from repro.baselines.coupon_wrappers import make_im_l, make_im_u, make_pm_l, mak
 from repro.baselines.im_s import IMShortestPath
 from repro.core.deployment import Deployment
 from repro.core.s3ca import S3CA, S3CAResult
-from repro.diffusion.monte_carlo import BenefitEstimator, MonteCarloEstimator
+from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.factory import make_estimator
 from repro.economics.scenario import Scenario
 from repro.experiments.config import AlgorithmSpec, ExperimentConfig
 from repro.experiments.metrics import explored_ratio, summarize_deployment
@@ -53,8 +54,9 @@ class ExperimentRunner:
     ) -> None:
         self.scenario = scenario
         self.config = config or ExperimentConfig()
-        self.estimator = estimator or MonteCarloEstimator(
-            scenario.graph,
+        self.estimator = estimator or make_estimator(
+            scenario,
+            self.config.estimator_method,
             num_samples=self.config.num_samples,
             seed=self.config.seed,
         )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.s3ca import S3CA
-from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.diffusion.factory import make_estimator
 from repro.economics.scenario import Scenario, ScenarioBuilder
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import explored_ratio
@@ -73,8 +73,11 @@ def measure_s3ca(
 ) -> ScalabilityPoint:
     """Run S3CA once on ``scenario`` and record the Fig. 9 metrics."""
     config = config or ExperimentConfig()
-    estimator = MonteCarloEstimator(
-        scenario.graph, num_samples=config.num_samples, seed=config.seed
+    estimator = make_estimator(
+        scenario,
+        config.estimator_method,
+        num_samples=config.num_samples,
+        seed=config.seed,
     )
     algorithm = S3CA(
         scenario,

@@ -5,9 +5,16 @@ layer of the library builds on: per-node economic attributes, influence
 probabilities on edges, adjacency lists pre-sorted by influence probability
 (the order in which social coupons are handed out), synthetic generators
 standing in for the SNAP datasets of the paper, and persistence helpers.
+
+Two representations coexist: the mutable adjacency-dict
+:class:`~repro.graph.social_graph.SocialGraph` used for construction and
+algorithmic bookkeeping, and the immutable integer-indexed
+:class:`~repro.graph.csr.CompiledGraph` CSR snapshot the vectorized cascade
+engine runs on (see :mod:`repro.diffusion.engine`).
 """
 
 from repro.graph.attributes import NodeAttributes
+from repro.graph.csr import CompiledGraph
 from repro.graph.social_graph import SocialGraph
 from repro.graph.generators import (
     GraphSpec,
@@ -37,6 +44,7 @@ from repro.graph.sampling import (
 )
 
 __all__ = [
+    "CompiledGraph",
     "forest_fire_sample",
     "random_node_sample",
     "snowball_sample",

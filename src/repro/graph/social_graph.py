@@ -14,9 +14,10 @@ Two representation details matter for the algorithms built on top:
   setting assigns ``P(e(u, v)) = 1 / in_degree(v)``.
 
 The class is intentionally a plain adjacency-dict structure rather than a
-wrapper around :mod:`networkx`: the hot loops of the Monte-Carlo estimator
-iterate over the adjacency of every activated node thousands of times, and
-attribute lookups through networkx views are several times slower.  A
+wrapper around :mod:`networkx`: it is the *mutable construction* substrate.
+For the Monte-Carlo hot loops it is compiled once into the immutable
+integer-indexed CSR snapshot :class:`repro.graph.csr.CompiledGraph`, which
+the vectorized cascade engine (:mod:`repro.diffusion.engine`) runs on.  A
 conversion bridge to/from networkx is still provided for interoperability.
 """
 

@@ -1,0 +1,129 @@
+"""CompiledGraph round-trip tests against the dict-backed SocialGraph."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.csr import CompiledGraph
+from repro.graph.generators import ppgg_like_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+
+
+@st.composite
+def random_graph(draw):
+    """A random attributed graph with mixed string/int node identifiers."""
+    num_nodes = draw(st.integers(min_value=1, max_value=12))
+    nodes = [f"u{i}" if i % 2 else i for i in range(num_nodes)]
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(
+            node,
+            benefit=draw(st.floats(min_value=0.0, max_value=10.0)),
+            seed_cost=draw(st.floats(min_value=0.0, max_value=10.0)),
+            sc_cost=draw(st.floats(min_value=0.0, max_value=10.0)),
+        )
+    possible = [(u, v) for u in nodes for v in nodes if u != v]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible), max_size=min(30, len(possible)), unique=True
+        )
+        if possible
+        else st.just([])
+    )
+    for source, target in chosen:
+        graph.add_edge(
+            source, target, draw(st.floats(min_value=0.0, max_value=1.0))
+        )
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_round_trips_nodes_edges_and_ranked_neighbors(graph):
+    compiled = CompiledGraph.from_social_graph(graph)
+
+    assert compiled.num_nodes == graph.num_nodes
+    assert compiled.num_edges == graph.num_edges
+    assert list(compiled) == list(graph.nodes())
+
+    # node <-> index round trip
+    for node in graph.nodes():
+        assert compiled.node_of(compiled.index_of(node)) == node
+
+    # the ranked adjacency view is identical, node by node
+    for node in graph.nodes():
+        assert compiled.ranked_out_neighbors(node) == graph.ranked_out_neighbors(node)
+        assert compiled.out_degree(node) == graph.out_degree(node)
+
+    # the edge set (with probabilities) survives compilation
+    assert sorted(compiled.edges(), key=str) == sorted(graph.edges(), key=str)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_attribute_vectors_match(graph):
+    compiled = CompiledGraph.from_social_graph(graph)
+    for node in graph.nodes():
+        i = compiled.index_of(node)
+        assert compiled.benefits[i] == graph.benefit(node)
+        assert compiled.seed_costs[i] == graph.seed_cost(node)
+        assert compiled.sc_costs[i] == graph.sc_cost(node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_edge_pos_is_a_permutation_of_draw_order(graph):
+    """Every ranked edge maps to exactly one coin-flip draw position."""
+    compiled = CompiledGraph.from_social_graph(graph)
+    assert sorted(compiled.edge_pos.tolist()) == list(range(graph.num_edges))
+    # and the mapped probability agrees with the draw-order edge list
+    draw_order = list(graph.edges())
+    for slot in range(compiled.num_edges):
+        _, _, probability = draw_order[int(compiled.edge_pos[slot])]
+        assert compiled.probs[slot] == probability
+
+
+def test_ranked_order_is_by_decreasing_probability():
+    graph = star_graph(5, probability=0.5)
+    # distinct probabilities so the ranking is unambiguous
+    for rank, (_, target, _) in enumerate(list(graph.edges())):
+        graph.add_edge(0, target, 0.1 + 0.2 * (rank % 4))
+    compiled = CompiledGraph.from_social_graph(graph)
+    probs = [p for _, p in compiled.ranked_out_neighbors(0)]
+    assert probs == sorted(probs, reverse=True)
+
+
+def test_indices_of_skips_unknown_and_dedupes_preserving_order():
+    graph = star_graph(4)
+    compiled = CompiledGraph.from_social_graph(graph)
+    result = compiled.indices_of([3, "ghost", 1, 3, 2])
+    assert result == [compiled.index_of(3), compiled.index_of(1), compiled.index_of(2)]
+
+
+def test_allocation_vector_ignores_unknown_and_nonpositive():
+    graph = star_graph(4)
+    compiled = CompiledGraph.from_social_graph(graph)
+    vector = compiled.allocation_vector({0: 2, 1: 0, "ghost": 5, 2: -1})
+    assert vector[compiled.index_of(0)] == 2
+    assert int(vector.sum()) == 2
+
+
+def test_unknown_node_raises():
+    compiled = CompiledGraph.from_social_graph(star_graph(3))
+    with pytest.raises(NodeNotFoundError):
+        compiled.index_of("missing")
+
+
+def test_csr_arrays_are_consistent_on_a_real_topology():
+    graph = ppgg_like_graph(
+        num_nodes=80, avg_out_degree=5.0, power_law_exponent=1.7,
+        clustering=0.3, seed=11,
+    )
+    compiled = CompiledGraph.from_social_graph(graph)
+    assert compiled.indptr[0] == 0
+    assert compiled.indptr[-1] == compiled.num_edges
+    assert np.all(np.diff(compiled.indptr) >= 0)
+    assert np.all((compiled.probs >= 0.0) & (compiled.probs <= 1.0))
+    assert np.all((compiled.indices >= 0) & (compiled.indices < compiled.num_nodes))
