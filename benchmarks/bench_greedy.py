@@ -1,0 +1,165 @@
+"""Incremental (delta + CELF-lazy) vs eager greedy: the ID phase end to end.
+
+PR 1 made a *single* benefit evaluation ~6x faster; this benchmark measures
+the next bottleneck — S3CA's Investment Deployment phase, which evaluates
+``O(candidates × num_samples)`` full cascades per greedy step on the eager
+path.  The incremental path snapshots the base deployment once per step and
+re-simulates only the worlds each candidate's coupon can change, re-deriving
+still-valid candidates from stored count deltas without any simulation.
+
+Setup mirrors Fig. 9: PPGG-like synthetic networks with budgets large enough
+to drive a realistic number of greedy iterations.  Both paths must select the
+**bit-identical** deployment (asserted here); the headline number is the
+wall-clock speedup of ``InvestmentDeployment.run()``.
+
+The measured points are appended to ``BENCH_greedy.json`` at the repository
+root, so successive runs accumulate a trajectory of the greedy-phase
+performance over time.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_GREEDY_SIZES``
+    Comma-separated network sizes (default ``200,400,800``).
+``REPRO_BENCH_GREEDY_SAMPLES``
+    Monte-Carlo worlds (default ``200`` — the paper-scale setting).
+``REPRO_BENCH_MIN_SPEEDUP``
+    Hard floor for the largest graph's ID-phase speedup (default ``5.0``;
+    CI relaxes it because shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.investment import InvestmentDeployment
+from repro.diffusion.factory import make_estimator
+from repro.experiments.reporting import format_table
+from repro.experiments.scalability import synthetic_scenario
+from repro.utils.timer import Timer
+
+SIZES = [
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_GREEDY_SIZES", "200,400,800").split(",")
+]
+NUM_SAMPLES = int(os.environ.get("REPRO_BENCH_GREEDY_SAMPLES", "200"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+CANDIDATE_LIMIT = 25
+PIVOT_LIMIT = 150
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_greedy.json"
+
+
+def _run_id_phase(scenario, incremental: bool):
+    estimator = make_estimator(
+        scenario,
+        "mc-compiled",
+        num_samples=NUM_SAMPLES,
+        seed=BENCH_SEED,
+        incremental=incremental,
+    )
+    phase = InvestmentDeployment(
+        scenario,
+        estimator,
+        candidate_limit=CANDIDATE_LIMIT,
+        max_pivot_candidates=PIVOT_LIMIT,
+        incremental=incremental,
+    )
+    with Timer() as timer:
+        result = phase.run()
+    return result, timer.elapsed
+
+
+def _append_trajectory(points, aggregate):
+    """Append this run's measurements to the repo-root trajectory file."""
+    data = {"benchmark": "greedy_id_phase", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        try:
+            loaded = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable: start a fresh trajectory
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "num_samples": NUM_SAMPLES,
+            "candidate_limit": CANDIDATE_LIMIT,
+            "max_pivot_candidates": PIVOT_LIMIT,
+            "points": points,
+            "aggregate_speedup": aggregate,
+        }
+    )
+    TRAJECTORY_PATH.write_text(
+        json.dumps(data, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.benchmark(group="greedy")
+def test_greedy_incremental_speedup(report):
+    rows = []
+    points = []
+    total_eager = 0.0
+    total_incremental = 0.0
+    for size in SIZES:
+        # Budget ~2x the node count drives tens of greedy iterations, the
+        # regime the paper's Fig. 9 scalability runs operate in.
+        scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
+        eager_result, eager_seconds = _run_id_phase(scenario, incremental=False)
+        lazy_result, lazy_seconds = _run_id_phase(scenario, incremental=True)
+
+        # The whole point: the fast path returns the *same* deployment.
+        assert eager_result.deployment.seeds == lazy_result.deployment.seeds
+        assert (
+            eager_result.deployment.allocation == lazy_result.deployment.allocation
+        )
+        assert eager_result.iterations == lazy_result.iterations
+
+        speedup = eager_seconds / lazy_seconds
+        total_eager += eager_seconds
+        total_incremental += lazy_seconds
+        point = {
+            "nodes": size,
+            "edges": scenario.num_edges,
+            "budget": scenario.budget_limit,
+            "iterations": eager_result.iterations,
+            "eager_seconds": round(eager_seconds, 4),
+            "incremental_seconds": round(lazy_seconds, 4),
+            "speedup": round(speedup, 2),
+            "identical_deployment": True,
+        }
+        points.append(point)
+        rows.append(point)
+
+    aggregate = total_eager / total_incremental
+    rows.append(
+        {
+            "nodes": "all",
+            "edges": "",
+            "budget": "",
+            "iterations": "",
+            "eager_seconds": round(total_eager, 4),
+            "incremental_seconds": round(total_incremental, 4),
+            "speedup": round(aggregate, 2),
+            "identical_deployment": "",
+        }
+    )
+    text = format_table(
+        rows,
+        title=(
+            "ID phase: incremental (delta + CELF-lazy) vs eager re-simulation "
+            f"({NUM_SAMPLES} worlds, candidate_limit={CANDIDATE_LIMIT})"
+        ),
+    )
+    report("greedy_incremental", text)
+    _append_trajectory(points, round(aggregate, 2))
+
+    largest = points[-1]["speedup"]
+    assert largest >= MIN_SPEEDUP, (
+        f"ID-phase speedup on the largest graph ({points[-1]['nodes']} nodes) "
+        f"is {largest:.1f}x, below the {MIN_SPEEDUP}x bar"
+    )

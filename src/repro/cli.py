@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "mc is the reference dict path; rr ignores coupon allocations "
                  "and is only meaningful for unlimited-coupon baselines)",
         )
+        sub.add_argument(
+            "--no-incremental", action="store_true",
+            help="force S3CA's eager full-resimulation greedy loop instead of "
+                 "the delta-evaluation engine + CELF lazy queue (same result, "
+                 "slower; mainly for cross-checking)",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -97,6 +103,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         candidate_limit=args.candidate_limit,
         max_pivot_candidates=args.pivot_limit,
         estimator_method=getattr(args, "estimator", DEFAULT_ESTIMATOR_METHOD),
+        incremental=not getattr(args, "no_incremental", False),
     )
 
 
@@ -108,6 +115,7 @@ def _s3ca_spec(args: argparse.Namespace) -> AlgorithmSpec:
             estimator=estimator,
             candidate_limit=args.candidate_limit,
             max_pivot_candidates=args.pivot_limit,
+            incremental=not getattr(args, "no_incremental", False),
         ),
     )
 
@@ -136,6 +144,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
         candidate_limit=config.candidate_limit,
         max_pivot_candidates=config.max_pivot_candidates,
         spend_full_budget=getattr(args, "spend_full_budget", False),
+        incremental=config.incremental,
     ).solve()
     rows = [
         {

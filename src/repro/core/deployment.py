@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
-from repro.core.allocation import SCAllocation, expected_sc_cost
+from repro.core.allocation import SCAllocation, expected_sc_cost, node_expected_sc_cost
 from repro.diffusion.estimator import BenefitEstimator
 from repro.graph.social_graph import SocialGraph
 
@@ -55,6 +55,7 @@ class Deployment:
         else:
             self.allocation = SCAllocation(allocation or {})
         self._sc_cost_cache = sc_cost_cache if sc_cost_cache is not None else {}
+        self._key_cache: Optional[Tuple[int, Tuple[FrozenSet, Tuple]]] = None
 
     # ------------------------------------------------------------------
     # structure
@@ -80,11 +81,25 @@ class Deployment:
         return not self.seeds and len(self.allocation) == 0
 
     def key(self) -> Tuple[FrozenSet, Tuple]:
-        """Hashable identity used for memoisation."""
-        return (
+        """Hashable identity used for memoisation.
+
+        Memoised on the instance: deployments are effectively immutable once
+        the greedy loops start deriving variants, so the frozenset/sort is
+        paid once per deployment instead of once per cache lookup.  The memo
+        is invalidated when the coupon allocation mutates (every allocation
+        edit funnels through :meth:`SCAllocation.set`); direct mutation of
+        ``self.seeds`` after the first ``key()`` call is not supported.
+        """
+        version = self.allocation.version
+        cached = self._key_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        key = (
             frozenset(self.seeds),
             tuple(sorted(self.allocation.items())),
         )
+        self._key_cache = (version, key)
+        return key
 
     # ------------------------------------------------------------------
     # costs and objective
@@ -97,6 +112,24 @@ class Deployment:
     def sc_cost(self) -> float:
         """Expected social-coupon cost ``Csc(K(I))``."""
         return expected_sc_cost(self.graph, self.allocation.as_dict(), _cache=self._sc_cost_cache)
+
+    def node_sc_cost(self, node: NodeId, coupons: int) -> float:
+        """Expected SC cost of ``node`` holding ``coupons``, via the shared cache.
+
+        This is the per-node term of :meth:`sc_cost`; the greedy phases use
+        differences of these terms as *canonical* marginal costs, so the same
+        investment prices identically no matter which base deployment it is
+        evaluated against (a full-sum difference would drift by float ulps).
+        """
+        coupons = int(coupons)
+        if coupons <= 0:
+            return 0.0
+        key = (node, coupons)
+        cached = self._sc_cost_cache.get(key)
+        if cached is None:
+            cached = node_expected_sc_cost(self.graph, node, coupons)
+            self._sc_cost_cache[key] = cached
+        return cached
 
     def total_cost(self) -> float:
         """``Cseed(S) + Csc(K(I))`` — the quantity bounded by ``B_inv``."""

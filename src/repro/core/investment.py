@@ -26,6 +26,35 @@ Faithfulness notes
   iteration (highest activation probability first).  The paper's pseudo-code
   scores all of them; the limit exists so the big benchmark graphs stay
   tractable, and ``None`` recovers the exact behaviour.
+
+Incremental mode (the CELF lazy queue)
+--------------------------------------
+With ``incremental=True`` (default whenever the estimator supports it) the
+coupon-candidate scoring runs on a CELF-style lazy priority queue backed by
+the delta-evaluation engine:
+
+* the base deployment is snapshotted once per iteration (one instrumented
+  pass) and each *fresh* candidate evaluation re-simulates only the worlds
+  its coupon can change;
+* candidates whose previous evaluation is provably still valid are not
+  re-simulated at all — their priority is re-derived from the stored count
+  delta (bit-identical to a fresh evaluation);
+* stale candidates are marked with an infinite priority so they are
+  re-evaluated exactly when they surface at the top of the heap.
+
+A previous evaluation of candidate ``u`` is invalidated only when the
+accepted investment could have changed it: the accepted node *is* ``u``; a
+world ``u``'s coupon can change was re-simulated by the accepted move; ``u``'s
+set of such worlds itself changed; or the accepted node was coupon-limited
+inside one of ``u``'s own re-simulations (so ``u``'s re-simulated outcome now
+reads a different coupon count).  Accepting a *seed* (pivot) invalidates
+everything — seeds reorder activation globally.  This rule is exact, so the
+lazy loop selects, iteration for iteration, the same investment the eager
+full-resimulation loop selects, bit for bit.
+
+Candidates whose next coupon no longer fits the budget are retired
+permanently: the deployment's total cost only grows during the phase while a
+candidate's canonical marginal cost is fixed, so they can never fit again.
 """
 
 from __future__ import annotations
@@ -34,12 +63,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.deployment import Deployment
-from repro.core.marginal import MarginalEvaluation, MarginalRedemption
+from repro.core.marginal import MarginalEvaluation, MarginalRedemption, _safe_ratio
+from repro.diffusion.delta import DeltaOutcome
 from repro.diffusion.estimator import BenefitEstimator
 from repro.economics.scenario import Scenario
 from repro.utils.indexed_heap import IndexedMaxHeap
 
 NodeId = Hashable
+
+_STALE = float("inf")
 
 
 @dataclass
@@ -64,7 +96,9 @@ class InvestmentResult:
         Every intermediate deployment, in the order it was produced.
     explored_nodes:
         Users whose marginal redemption was evaluated at least once — the
-        numerator of the *explored ratio* reported in Fig. 9.
+        numerator of the *explored ratio* reported in Fig. 9.  The lazy queue
+        counts every candidate whose (fresh or provably unchanged) marginal
+        redemption it considered, so the metric is identical to eager runs.
     iterations:
         Number of greedy investments applied.
     """
@@ -80,8 +114,56 @@ class InvestmentResult:
         return len(self.explored_nodes)
 
 
+class _LazyCouponQueue:
+    """CELF-style lazy queue state for the coupon-investment candidates."""
+
+    def __init__(self) -> None:
+        self.heap: IndexedMaxHeap = IndexedMaxHeap()
+        self.records: Dict[NodeId, DeltaOutcome] = {}
+        self.fresh: Dict[NodeId, int] = {}
+        self.evaluations: Dict[NodeId, MarginalEvaluation] = {}
+        self.refreshed: Dict[NodeId, float] = {}
+        self.dead: Set[NodeId] = set()
+        self.iteration = 0
+        # (accepted node, worlds its move re-simulated) — None = invalidate all
+        self.pending: Optional[Tuple[Optional[NodeId], Optional[Tuple[int, ...]]]] = None
+
+    def note_coupon_accept(self, evaluation: MarginalEvaluation) -> None:
+        """Record an accepted coupon investment for next-iteration invalidation."""
+        outcome = evaluation.delta
+        if outcome is not None and outcome.exact:
+            self.pending = (evaluation.node, outcome.dirty_worlds)
+        else:
+            self.pending = (None, None)
+
+    def note_seed_accept(self) -> None:
+        """A pivot seed was accepted: every cached evaluation is suspect."""
+        self.pending = (None, None)
+
+
 class InvestmentDeployment:
-    """Greedy budgeted deployment of seeds and coupons by marginal redemption."""
+    """Greedy budgeted deployment of seeds and coupons by marginal redemption.
+
+    Parameters
+    ----------
+    scenario / estimator:
+        The S3CRM instance and the shared expected-benefit estimator.
+    candidate_limit / max_pivot_candidates / activation_threshold:
+        Work bounds, as before.
+    incremental:
+        Use the delta-evaluation engine plus the CELF lazy queue (``None`` =
+        follow the estimator's capability; forced ``True`` on an estimator
+        without delta support silently degrades to eager).  The selected
+        deployment is bit-identical either way.
+    pivot_prescreener:
+        Optional cheap upper-bound estimator (typically the RR-set backed
+        :class:`~repro.diffusion.rr_sets.RRBenefitEstimator`) used to rank
+        pivot candidates *before* any Monte-Carlo evaluation is paid.  Its
+        singleton-seed benefit bounds replace the degree/benefit heuristic
+        that decides which users receive the expensive treatment when
+        ``max_pivot_candidates`` caps the queue.  Changing the ranking can
+        change which pivots are considered, so this is off by default.
+    """
 
     def __init__(
         self,
@@ -91,16 +173,21 @@ class InvestmentDeployment:
         candidate_limit: Optional[int] = None,
         max_pivot_candidates: Optional[int] = None,
         activation_threshold: float = 0.0,
+        incremental: Optional[bool] = None,
+        pivot_prescreener: Optional[BenefitEstimator] = None,
     ) -> None:
         self.scenario = scenario
         self.graph = scenario.graph
         self.estimator = estimator
-        self.marginal = MarginalRedemption(estimator)
+        self.marginal = MarginalRedemption(estimator, incremental=incremental)
+        self.incremental = self.marginal.incremental
         self.candidate_limit = candidate_limit
         self.max_pivot_candidates = max_pivot_candidates
         self.activation_threshold = activation_threshold
+        self.pivot_prescreener = pivot_prescreener
         self._sc_cost_cache: Dict[Tuple[NodeId, int], float] = {}
         self.explored_nodes: Set[NodeId] = set()
+        self._lazy = _LazyCouponQueue()
 
     # ------------------------------------------------------------------
     # pivot queue (Alg. 1 lines 1-8)
@@ -125,13 +212,25 @@ class InvestmentDeployment:
             seed_cost = self.graph.seed_cost(node)
             if seed_cost <= 0 or seed_cost > budget:
                 continue
-            # Cheap pre-score: stand-alone benefit per seed cost, used only to
-            # bound how many users get the expensive Monte-Carlo treatment.
-            scored.append((self.graph.benefit(node) / seed_cost, node))
+            # Cheap pre-score, used only to bound how many users get the
+            # expensive Monte-Carlo treatment: either the node's stand-alone
+            # benefit per seed cost, or — with a prescreener — an upper bound
+            # on its full singleton spread (the RR-set estimate prices the
+            # unlimited-coupon relaxation, which dominates the SC-constrained
+            # benefit).
+            if self.pivot_prescreener is not None:
+                bound = self.pivot_prescreener.expected_benefit([node], {})
+            else:
+                bound = self.graph.benefit(node)
+            scored.append((bound / seed_cost, node))
         scored.sort(key=lambda item: (-item[0], str(item[1])))
         if self.max_pivot_candidates is not None:
             scored = scored[: self.max_pivot_candidates]
 
+        # Singleton evaluations from the empty base have nothing for the
+        # delta engine to reuse (every world is fresh), so the pivot queue
+        # always prices candidates through the plain estimator path — the
+        # numbers are bit-identical either way.
         empty = Deployment(self.graph, sc_cost_cache=self._sc_cost_cache)
         for _, node in scored:
             self.explored_nodes.add(node)
@@ -164,6 +263,10 @@ class InvestmentDeployment:
     def run(self) -> InvestmentResult:
         """Run the full ID phase and return the best snapshot."""
         budget = self.scenario.budget_limit
+        # The lazy-queue state (retired candidates, cached delta outcomes) is
+        # only valid within one greedy run: budget retirement assumes the
+        # deployment cost never shrinks, which resets here.
+        self._lazy = _LazyCouponQueue()
         queue = self.build_pivot_queue()
 
         if not queue:
@@ -187,7 +290,7 @@ class InvestmentDeployment:
         while True:
             if current.total_cost() >= budget:
                 break
-            base_benefit = current.expected_benefit(self.estimator)
+            base_benefit = self.marginal.set_base(current)
             best_eval = self._best_coupon_investment(current, base_benefit, budget)
             pivot_rate = pivot.redemption_rate if pivot is not None else float("-inf")
 
@@ -209,6 +312,7 @@ class InvestmentDeployment:
                     snapshots.append(current.copy())
                     iterations += 1
                     pivot = self._next_pivot(queue)
+                    self._lazy.note_seed_accept()
                     continue
                 # pivot does not fit: discard it and retry with the next one
                 pivot = self._next_pivot(queue)
@@ -222,6 +326,7 @@ class InvestmentDeployment:
             current = best_eval.resulting
             snapshots.append(current.copy())
             iterations += 1
+            self._lazy.note_coupon_accept(best_eval)
 
         best = max(
             snapshots,
@@ -277,6 +382,8 @@ class InvestmentDeployment:
         budget: float,
     ) -> Optional[MarginalEvaluation]:
         """Highest-MR coupon investment that still fits the budget."""
+        if self.incremental:
+            return self._best_coupon_investment_lazy(deployment, base_benefit, budget)
         best: Optional[MarginalEvaluation] = None
         for node in self._coupon_candidates(deployment):
             self.explored_nodes.add(node)
@@ -290,3 +397,164 @@ class InvestmentDeployment:
             if best is None or evaluation.ratio > best.ratio:
                 best = evaluation
         return best
+
+    # ------------------------------------------------------------------
+    # CELF lazy selection (incremental mode)
+    # ------------------------------------------------------------------
+
+    def _best_coupon_investment_lazy(
+        self,
+        deployment: Deployment,
+        base_benefit: float,
+        budget: float,
+    ) -> Optional[MarginalEvaluation]:
+        """Same selection as the eager loop, re-simulating only what changed."""
+        lazy = self._lazy
+        lazy.iteration += 1
+        lazy.evaluations.clear()
+        lazy.refreshed.clear()
+        iteration = lazy.iteration
+        heap = lazy.heap
+
+        candidates = self._coupon_candidates(deployment)
+        candidate_order = {node: rank for rank, node in enumerate(candidates)}
+        # Every candidate's marginal redemption is known this iteration
+        # (freshly simulated or provably unchanged), so the explored-ratio
+        # metric counts them all — identical to the eager methodology the
+        # paper's Fig. 9 metric is defined by.
+        self.explored_nodes.update(candidates)
+
+        # Candidates that left the influenced set keep nothing: if they come
+        # back their cached evaluation would be against a long-gone base.
+        for node in [n for n in heap if n not in candidate_order]:
+            heap.remove(node)
+            lazy.records.pop(node, None)
+            lazy.fresh.pop(node, None)
+
+        pending = lazy.pending
+        lazy.pending = None
+        for node in candidates:
+            if node in lazy.dead:
+                continue
+            if node not in heap:
+                heap.push(node, _STALE)
+                lazy.records.pop(node, None)
+                continue
+            record = lazy.records.get(node)
+            if record is None or not record.exact:
+                heap.update(node, _STALE)
+                continue
+            if pending is not None and self._invalidated(node, record, pending):
+                lazy.records.pop(node, None)
+                heap.update(node, _STALE)
+                continue
+            # Still valid: re-derive the priority against the fresh snapshot
+            # (a count-vector splice — no cascade is re-simulated).
+            benefit_new = self.estimator.refresh_delta_benefit(
+                record,
+                deployment.seeds,
+                _alloc_with_extra(deployment, node),
+            )
+            old_coupons = deployment.allocation.get(node)
+            cost_gain = deployment.node_sc_cost(
+                node, old_coupons + 1
+            ) - deployment.node_sc_cost(node, old_coupons)
+            ratio = _safe_ratio(benefit_new - base_benefit, cost_gain)
+            heap.update(node, ratio)
+            lazy.fresh[node] = iteration
+            lazy.refreshed[node] = benefit_new
+
+        while heap:
+            node, _ = heap.peek()
+            if lazy.fresh.get(node) != iteration:
+                self._lazy_evaluate(deployment, node, base_benefit)
+                continue
+            top_ratio = heap.priority(node)
+            ties = [n for n in heap if heap.priority(n) == top_ratio]
+            # A genuinely infinite fresh ratio can collide with the stale
+            # sentinel; force those entries fresh before resolving the tie.
+            stale_ties = [n for n in ties if lazy.fresh.get(n) != iteration]
+            if stale_ties:
+                for stale in stale_ties:
+                    self._lazy_evaluate(deployment, stale, base_benefit)
+                continue
+            ties.sort(key=lambda n: candidate_order[n])
+            chosen: Optional[MarginalEvaluation] = None
+            for tie in ties:
+                evaluation = lazy.evaluations.get(tie)
+                if evaluation is None:
+                    evaluation = self.marginal.of_extra_coupon(
+                        deployment,
+                        tie,
+                        base_benefit=base_benefit,
+                        reuse=lazy.records.get(tie),
+                        refreshed_benefit=lazy.refreshed.get(tie),
+                    )
+                if evaluation is None:
+                    heap.remove(tie)
+                    lazy.dead.add(tie)
+                    lazy.records.pop(tie, None)
+                    continue
+                if evaluation.resulting.total_cost() > budget:
+                    # The deployment only gets more expensive and this
+                    # candidate's marginal cost is fixed — it can never fit.
+                    heap.remove(tie)
+                    lazy.dead.add(tie)
+                    lazy.records.pop(tie, None)
+                    continue
+                chosen = evaluation
+                break
+            if chosen is not None:
+                return chosen
+            # every tied candidate was retired; reconsider the rest
+        return None
+
+    def _lazy_evaluate(
+        self, deployment: Deployment, node: NodeId, base_benefit: float
+    ) -> bool:
+        """Fresh delta evaluation of ``node``; returns False if it was retired."""
+        lazy = self._lazy
+        evaluation = self.marginal.of_extra_coupon(
+            deployment, node, base_benefit=base_benefit
+        )
+        if evaluation is None:
+            lazy.heap.remove(node)
+            lazy.dead.add(node)
+            lazy.records.pop(node, None)
+            return False
+        lazy.heap.update(node, evaluation.ratio)
+        lazy.fresh[node] = lazy.iteration
+        lazy.evaluations[node] = evaluation
+        if evaluation.delta is not None:
+            lazy.records[node] = evaluation.delta
+        else:
+            lazy.records.pop(node, None)
+        return True
+
+    def _invalidated(
+        self,
+        node: NodeId,
+        record: DeltaOutcome,
+        pending: Tuple[Optional[NodeId], Optional[Tuple[int, ...]]],
+    ) -> bool:
+        """Exact staleness rule for a cached coupon evaluation (see module doc)."""
+        accepted, changed = pending
+        if accepted is None or changed is None:
+            return True
+        if node == accepted:
+            return True
+        if accepted in record.touched:
+            return True
+        new_dirty = self.estimator.coupon_dirty_worlds(node)
+        if new_dirty != record.dirty_worlds:
+            return True
+        if changed and new_dirty and not set(new_dirty).isdisjoint(changed):
+            return True
+        return False
+
+
+def _alloc_with_extra(deployment: Deployment, node: NodeId) -> Dict[NodeId, int]:
+    """The deployment's allocation dict with one more coupon on ``node``."""
+    allocation = deployment.allocation.as_dict()
+    allocation[node] = allocation.get(node, 0) + 1
+    return allocation

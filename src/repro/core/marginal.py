@@ -15,6 +15,26 @@ investment (Sec. IV-A.1).
 returns :class:`MarginalEvaluation` records carrying the benefit and cost
 deltas alongside the ratio, so the caller can also perform budget checks
 without recomputing anything.
+
+Cost deltas are *canonical*: the denominator is the difference of the changed
+node's own cost terms (seed cost, per-node expected SC cost) rather than a
+difference of two full deployment sums.  The two are mathematically equal —
+the sums telescope — but the canonical form is bit-stable across iterations,
+which is what lets the CELF lazy queue in
+:mod:`repro.core.investment` reuse priorities without float drift.
+
+Incremental evaluation
+----------------------
+When the estimator exposes the delta-evaluation API
+(:class:`~repro.diffusion.monte_carlo.MonteCarloEstimator` on the compiled
+backend with ``incremental=True``), the benefit side is answered by the
+:class:`~repro.diffusion.delta.DeltaCascadeEngine`: the base deployment is
+snapshotted once (:meth:`MarginalRedemption.set_base`) and each candidate
+re-simulates only the worlds its single-investment change can affect, with
+bit-identical results to a full pass.  Callers can hand a previous
+evaluation's :class:`~repro.diffusion.delta.DeltaOutcome` back through
+``reuse`` to skip even the re-simulation when the invalidation rule proves it
+still valid.
 """
 
 from __future__ import annotations
@@ -23,7 +43,8 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from repro.core.deployment import Deployment
-from repro.diffusion.monte_carlo import BenefitEstimator
+from repro.diffusion.delta import DeltaOutcome
+from repro.diffusion.estimator import BenefitEstimator
 
 NodeId = Hashable
 
@@ -46,6 +67,11 @@ class MarginalEvaluation:
         the benefit gain is zero; ``inf`` when benefit is gained for free).
     resulting:
         The deployment that results from applying the investment.
+    delta:
+        The :class:`DeltaOutcome` behind the benefit, when the incremental
+        path was used (``None`` on the full-resimulation path).  Carries the
+        re-simulated worlds and touched nodes the lazy greedy queue needs for
+        exact cache invalidation.
     """
 
     node: NodeId
@@ -54,6 +80,7 @@ class MarginalEvaluation:
     cost_gain: float
     ratio: float
     resulting: Deployment
+    delta: Optional[DeltaOutcome] = None
 
     @property
     def is_positive(self) -> bool:
@@ -62,12 +89,40 @@ class MarginalEvaluation:
 
 
 class MarginalRedemption:
-    """Evaluator of marginal redemptions against a base deployment."""
+    """Evaluator of marginal redemptions against a base deployment.
 
-    def __init__(self, estimator: BenefitEstimator) -> None:
+    Parameters
+    ----------
+    estimator:
+        The expected-benefit estimator.
+    incremental:
+        Force the incremental (delta) path on or off; ``None`` (default)
+        follows the estimator's capability.
+    """
+
+    def __init__(
+        self, estimator: BenefitEstimator, *, incremental: Optional[bool] = None
+    ) -> None:
         self.estimator = estimator
+        supports = bool(getattr(estimator, "supports_incremental", False))
+        self.incremental = supports if incremental is None else (
+            bool(incremental) and supports
+        )
 
     # ------------------------------------------------------------------
+
+    def set_base(self, base: Deployment) -> float:
+        """Declare ``base`` the current base deployment; return its benefit.
+
+        On the incremental path this snapshots the base in the delta engine
+        (one instrumented pass, memoising the base's benefit and activation
+        probabilities); otherwise it is a plain evaluation.
+        """
+        if self.incremental:
+            return self.estimator.snapshot_base(
+                base.seeds, base.allocation.as_dict()
+            )
+        return base.expected_benefit(self.estimator)
 
     def of_new_seed(
         self,
@@ -85,10 +140,32 @@ class MarginalRedemption:
         investment would actually be charged to the budget.
         """
         resulting = base.with_seed(node, coupons=coupons)
-        if base_benefit is None:
-            base_benefit = base.expected_benefit(self.estimator)
-        benefit_gain = resulting.expected_benefit(self.estimator) - base_benefit
-        cost_gain = resulting.total_cost() - base.total_cost()
+        cost_gain = 0.0
+        if node not in base.seeds:
+            cost_gain += base.graph.seed_cost(node)
+        old_coupons = base.allocation.get(node)
+        new_coupons = resulting.allocation.get(node)
+        if new_coupons != old_coupons:
+            cost_gain += base.node_sc_cost(node, new_coupons) - base.node_sc_cost(
+                node, old_coupons
+            )
+        if self.incremental:
+            if base_benefit is None:
+                base_benefit = self.set_base(base)
+            outcome = self.estimator.delta_new_seed(
+                base.seeds,
+                base.allocation.as_dict(),
+                node,
+                resulting.seeds,
+                resulting.allocation.as_dict(),
+            )
+            benefit_new = outcome.benefit
+        else:
+            outcome = None
+            if base_benefit is None:
+                base_benefit = base.expected_benefit(self.estimator)
+            benefit_new = resulting.expected_benefit(self.estimator)
+        benefit_gain = benefit_new - base_benefit
         return MarginalEvaluation(
             node=node,
             action="seed",
@@ -96,6 +173,7 @@ class MarginalRedemption:
             cost_gain=cost_gain,
             ratio=_safe_ratio(benefit_gain, cost_gain),
             resulting=resulting,
+            delta=outcome,
         )
 
     def of_extra_coupon(
@@ -104,19 +182,53 @@ class MarginalRedemption:
         node: NodeId,
         *,
         base_benefit: Optional[float] = None,
+        reuse: Optional[DeltaOutcome] = None,
+        refreshed_benefit: Optional[float] = None,
     ) -> Optional[MarginalEvaluation]:
         """Marginal redemption of giving ``node`` one more coupon.
 
         Returns ``None`` when the node already holds as many coupons as it has
-        friends (no further coupon can ever be redeemed).
+        friends (no further coupon can ever be redeemed).  ``reuse`` may carry
+        a previous evaluation's still-valid :class:`DeltaOutcome`; the benefit
+        is then re-derived from its count delta without re-simulating anything
+        (bit-identical to a fresh evaluation — validity is the caller's
+        contract, see the invalidation rule in :mod:`repro.core.investment`).
+        A caller that already re-derived the benefit this iteration can hand
+        it back via ``refreshed_benefit`` to skip even that splice.
         """
-        if base.allocation.get(node) >= base.graph.out_degree(node):
+        old_coupons = base.allocation.get(node)
+        if old_coupons >= base.graph.out_degree(node):
             return None
         resulting = base.with_extra_coupon(node)
-        if base_benefit is None:
-            base_benefit = base.expected_benefit(self.estimator)
-        benefit_gain = resulting.expected_benefit(self.estimator) - base_benefit
-        cost_gain = resulting.total_cost() - base.total_cost()
+        cost_gain = base.node_sc_cost(node, old_coupons + 1) - base.node_sc_cost(
+            node, old_coupons
+        )
+        if self.incremental:
+            if base_benefit is None:
+                base_benefit = self.set_base(base)
+            if reuse is not None and reuse.exact:
+                outcome = reuse
+                if refreshed_benefit is not None:
+                    benefit_new = refreshed_benefit
+                else:
+                    benefit_new = self.estimator.refresh_delta_benefit(
+                        reuse, resulting.seeds, resulting.allocation.as_dict()
+                    )
+            else:
+                outcome = self.estimator.delta_extra_coupon(
+                    base.seeds,
+                    base.allocation.as_dict(),
+                    node,
+                    resulting.seeds,
+                    resulting.allocation.as_dict(),
+                )
+                benefit_new = outcome.benefit
+        else:
+            outcome = None
+            if base_benefit is None:
+                base_benefit = base.expected_benefit(self.estimator)
+            benefit_new = resulting.expected_benefit(self.estimator)
+        benefit_gain = benefit_new - base_benefit
         return MarginalEvaluation(
             node=node,
             action="coupon",
@@ -124,6 +236,7 @@ class MarginalRedemption:
             cost_gain=cost_gain,
             ratio=_safe_ratio(benefit_gain, cost_gain),
             resulting=resulting,
+            delta=outcome,
         )
 
 

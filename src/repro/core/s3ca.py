@@ -116,6 +116,17 @@ class S3CA:
         as much of the budget as profitable investments allowed — trading some
         redemption rate for total benefit (the regime the paper's large-scale
         runs operate in).
+    incremental:
+        Run the ID phase on the delta-evaluation engine and the CELF lazy
+        queue (see :mod:`repro.core.investment`).  ``None`` (default) turns
+        it on whenever the estimator supports it; the selected deployment is
+        bit-identical to the eager full-resimulation path either way, only
+        faster.  Pass ``False`` to force the eager path.
+    rr_prescreen:
+        Pre-rank the pivot candidates with a cheap RR-set upper bound before
+        any Monte-Carlo evaluation is paid (only meaningful together with
+        ``max_pivot_candidates``).  Changes which pivots are considered, so
+        off by default.
     """
 
     def __init__(
@@ -133,8 +144,11 @@ class S3CA:
         enable_gpi: bool = True,
         enable_scm: bool = True,
         spend_full_budget: bool = False,
+        incremental: Optional[bool] = None,
+        rr_prescreen: bool = False,
     ) -> None:
         self.scenario = scenario
+        self.seed = seed
         self.estimator = estimator or make_estimator(
             scenario, estimator_method, num_samples=num_samples, seed=seed
         )
@@ -153,6 +167,9 @@ class S3CA:
         self.enable_gpi = enable_gpi
         self.enable_scm = enable_scm
         self.spend_full_budget = spend_full_budget
+        self.incremental = incremental
+        self.rr_prescreen = rr_prescreen
+        self._prescreener: Optional[BenefitEstimator] = None
 
     # ------------------------------------------------------------------
 
@@ -160,12 +177,22 @@ class S3CA:
         """Run all three phases and return the result."""
         phase_seconds: Dict[str, float] = {}
 
+        prescreener = None
+        if self.rr_prescreen:
+            if self._prescreener is None:
+                self._prescreener = make_estimator(
+                    self.scenario, "rr", seed=self.seed
+                )
+            prescreener = self._prescreener
+
         with Timer() as timer:
             investment = InvestmentDeployment(
                 self.scenario,
                 self.estimator,
                 candidate_limit=self.candidate_limit,
                 max_pivot_candidates=self.max_pivot_candidates,
+                incremental=self.incremental,
+                pivot_prescreener=prescreener,
             )
             id_result = investment.run()
         phase_seconds["investment_deployment"] = timer.elapsed

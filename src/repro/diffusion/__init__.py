@@ -18,6 +18,7 @@ the ``mc-compiled`` / ``mc`` / ``exact`` / ``rr`` methods.
 from repro.diffusion.independent_cascade import simulate_independent_cascade
 from repro.diffusion.live_edge import LiveEdgeWorld, sample_worlds
 from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.delta import DeltaCascadeEngine, DeltaOutcome
 from repro.diffusion.engine import CompiledCascadeEngine
 from repro.diffusion.monte_carlo import MonteCarloEstimator
 from repro.diffusion.exact import ExactEstimator
@@ -41,6 +42,8 @@ __all__ = [
     "sample_worlds",
     "BenefitEstimator",
     "CompiledCascadeEngine",
+    "DeltaCascadeEngine",
+    "DeltaOutcome",
     "MonteCarloEstimator",
     "ExactEstimator",
     "CascadeResult",

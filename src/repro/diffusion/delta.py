@@ -1,0 +1,414 @@
+"""Incremental delta-evaluation of single-investment deployment changes.
+
+The greedy phases of S3CA only ever ask the estimator about deployments that
+differ from a known *base* by exactly one investment: one extra coupon on some
+node, or one new seed.  :class:`DeltaCascadeEngine` exploits that structure:
+it snapshots the base deployment's per-world cascades once (an instrumented
+full pass over the shared live-edge worlds) and then answers delta queries by
+re-simulating **only** the worlds in which the change can possibly alter the
+outcome, splicing the per-world differences into the base activation counts.
+
+Which worlds can change is an exact property of the deterministic
+SC-constrained cascade:
+
+* **extra coupon on ``v``** — the coupon vector is only read when a node is
+  dequeued, so if ``v`` never activates in a world the cascade is unchanged;
+  if ``v`` activates but its hand-out walk was not coupon-limited (it
+  reached the end of its live edge list, or stopped with coupons to spare)
+  an extra coupon is never spent and the walk is again unchanged.  Only the
+  worlds in which ``v``'s walk was *coupon-limited* need re-simulation.
+* **new seed ``v``** — in worlds where ``v`` was already inactive, no base
+  node ever reached ``v`` with a spare coupon (otherwise ``v`` would have
+  activated), so pre-visiting ``v`` changes nothing about the base portion;
+  if additionally ``v`` holds no coupons or has no live out-edges, the
+  outcome is exactly the base activation set plus ``v``.  Every other world
+  (``v`` active in the base — activation *order* shifts — or ``v`` able to
+  spread) is re-simulated.
+
+Bit-identical parity
+--------------------
+All bookkeeping is integer activation counts, so splicing is exact: the
+resulting count vector equals the one a fresh
+:meth:`~repro.diffusion.engine.CompiledCascadeEngine.run` would produce, and
+the expected benefit is computed with the same ``counts @ benefits /
+num_worlds`` expression — the delta path is bit-for-bit identical to the full
+pass, not merely close.  :class:`DeltaOutcome` additionally carries the
+sparse count delta so a caller can cheaply *re-derive* the benefit against a
+newer snapshot (see :meth:`DeltaCascadeEngine.refresh_benefit`), plus the
+re-simulated world indices and the coupon-limited nodes observed inside them
+— the ingredients of the exact cache-invalidation rule used by the CELF lazy
+queue in :mod:`repro.core.investment`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.exceptions import EstimationError
+
+NodeId = Hashable
+
+
+class DeltaOutcome:
+    """Result of one delta evaluation.
+
+    Attributes
+    ----------
+    benefit:
+        Expected benefit of the new deployment — bit-identical to a full
+        engine pass when ``exact`` is ``True``.
+    delta_index / delta_values:
+        Sparse difference between the new and the base activation-count
+        vectors (``None`` when the evaluation fell back to a full pass).
+    dirty_worlds:
+        World indices that were re-simulated (``None`` on fallback); these
+        are the only worlds whose base outcome the accepted investment can
+        change.
+    touched:
+        Node identifiers that were coupon-limited inside any re-simulated
+        world: raising *their* coupon count is the only single-node increment
+        that could alter those re-simulations.
+    exact:
+        ``False`` when the query did not match the snapshot (different seed
+        order, multi-node change, ...) and a full pass was used instead; the
+        benefit is still exact, but no delta bookkeeping is available.
+    """
+
+    __slots__ = (
+        "benefit",
+        "delta_index",
+        "delta_values",
+        "dirty_worlds",
+        "touched",
+        "exact",
+    )
+
+    def __init__(
+        self,
+        benefit: float,
+        delta_index: Optional[np.ndarray],
+        delta_values: Optional[np.ndarray],
+        dirty_worlds: Optional[Tuple[int, ...]],
+        touched: FrozenSet[NodeId],
+        exact: bool,
+    ) -> None:
+        self.benefit = benefit
+        self.delta_index = delta_index
+        self.delta_values = delta_values
+        self.dirty_worlds = dirty_worlds
+        self.touched = touched
+        self.exact = exact
+
+
+class DeltaCascadeEngine:
+    """Snapshot-based incremental evaluator over a compiled cascade engine."""
+
+    def __init__(self, engine: CompiledCascadeEngine) -> None:
+        self.engine = engine
+        self._base_seed_indices: List[int] = []
+        self._base_alloc: Dict[NodeId, int] = {}
+        self._base_coupons: List[int] = [0] * engine.compiled.num_nodes
+        self._base_queues: List[List[int]] = []
+        self._base_counts: Optional[np.ndarray] = None
+        self.base_benefit: float = 0.0
+        self._active_worlds: Dict[int, List[int]] = {}
+        self._limited_worlds: Dict[int, List[int]] = {}
+
+    @property
+    def has_snapshot(self) -> bool:
+        """Whether :meth:`snapshot` has been called at least once."""
+        return self._base_counts is not None
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> Tuple[np.ndarray, float]:
+        """Instrumented full pass establishing the base deployment.
+
+        Returns ``(activation_counts, expected_benefit)`` exactly like
+        :meth:`CompiledCascadeEngine.run` on the same inputs, while recording
+        the per-world activation queues, each node's active worlds and each
+        node's coupon-limited worlds for later delta queries.
+        """
+        engine = self.engine
+        compiled = engine.compiled
+        num_nodes = compiled.num_nodes
+
+        # Same canonical seed order as CompiledCascadeEngine.run, so every
+        # delta query built from an equal seed set matches the snapshot.
+        self._base_seed_indices = compiled.indices_of(sorted(seeds, key=str))
+        self._base_alloc = {
+            node: int(count) for node, count in allocation.items() if int(count) > 0
+        }
+        coupons = [0] * num_nodes
+        index = compiled.index
+        for node, count in self._base_alloc.items():
+            position = index.get(node)
+            if position is not None:
+                coupons[position] = count
+        self._base_coupons = coupons
+
+        queues: List[List[int]] = []
+        active_worlds: Dict[int, List[int]] = {}
+        limited_worlds: Dict[int, List[int]] = {}
+        flat: List[int] = []
+        if self._base_seed_indices:
+            for world_index in range(engine.num_worlds):
+                queue, limited = engine.cascade_world_instrumented(
+                    world_index, self._base_seed_indices, coupons
+                )
+                queues.append(queue)
+                flat.extend(queue)
+                for node_index in queue:
+                    active_worlds.setdefault(node_index, []).append(world_index)
+                for node_index in limited:
+                    limited_worlds.setdefault(node_index, []).append(world_index)
+        else:
+            queues = [[] for _ in range(engine.num_worlds)]
+
+        counts = np.bincount(
+            np.asarray(flat, dtype=np.int64), minlength=num_nodes
+        )
+        benefit = (
+            float(counts @ compiled.benefits) / engine.num_worlds
+            if self._base_seed_indices
+            else 0.0
+        )
+        self._base_queues = queues
+        self._base_counts = counts
+        self.base_benefit = benefit
+        self._active_worlds = active_worlds
+        self._limited_worlds = limited_worlds
+        return counts, benefit
+
+    # ------------------------------------------------------------------
+    # delta queries
+    # ------------------------------------------------------------------
+
+    def coupon_dirty_worlds(self, node: NodeId) -> Tuple[int, ...]:
+        """Worlds an extra coupon on ``node`` can change, under the snapshot."""
+        self._require_snapshot()
+        position = self.engine.compiled.index.get(node)
+        if position is None:
+            return ()
+        return tuple(self._limited_worlds.get(position, ()))
+
+    def eval_extra_coupon(
+        self,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> DeltaOutcome:
+        """Evaluate ``base`` with ``node``'s coupon count raised.
+
+        ``new_seeds`` / ``new_allocation`` describe the *resulting*
+        deployment; they are verified against the snapshot (same seed order,
+        allocation differing only on ``node`` and only upward) and the
+        evaluation falls back to a full engine pass when they do not match.
+        """
+        self._require_snapshot()
+        engine = self.engine
+        compiled = engine.compiled
+        new_seed_indices = compiled.indices_of(sorted(new_seeds, key=str))
+        if new_seed_indices != self._base_seed_indices:
+            return self._fallback(new_seed_indices, new_allocation)
+        new_alloc = _normalize(new_allocation)
+        if not _single_increase(self._base_alloc, new_alloc, node):
+            return self._fallback(new_seed_indices, new_allocation)
+
+        position = compiled.index.get(node)
+        if position is None:
+            # Unknown coupon holders are ignored by the cascade entirely.
+            return self._unchanged()
+
+        dirty = self._limited_worlds.get(position, [])
+        coupons = list(self._base_coupons)
+        coupons[position] = new_alloc[node]
+        return self._splice(dirty, self._base_seed_indices, coupons, clean_node=None)
+
+    def eval_new_seed(
+        self,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> DeltaOutcome:
+        """Evaluate ``base`` with ``node`` added to the seed set.
+
+        ``new_allocation`` may additionally raise ``node``'s own coupon count
+        (the pivot-queue construction seeds users together with one coupon);
+        any other difference falls back to a full pass.
+        """
+        self._require_snapshot()
+        engine = self.engine
+        compiled = engine.compiled
+        new_seed_indices = compiled.indices_of(sorted(new_seeds, key=str))
+        position = compiled.index.get(node)
+        if position is None:
+            return self._fallback(new_seed_indices, new_allocation)
+        if position in self._base_seed_indices:
+            if new_seed_indices == self._base_seed_indices and _normalize(
+                new_allocation
+            ) == self._base_alloc:
+                return self._unchanged()
+            return self._fallback(new_seed_indices, new_allocation)
+        stripped = [i for i in new_seed_indices if i != position]
+        if stripped != self._base_seed_indices:
+            return self._fallback(new_seed_indices, new_allocation)
+        new_alloc = _normalize(new_allocation)
+        if new_alloc != self._base_alloc and not _single_increase(
+            self._base_alloc, new_alloc, node
+        ):
+            return self._fallback(new_seed_indices, new_allocation)
+
+        seed_coupons = new_alloc.get(node, 0)
+        active = self._active_worlds.get(position, [])
+        dirty = list(active)
+        clean = 0
+        if seed_coupons > 0:
+            active_set = set(active)
+            world_offsets = engine._world_offsets
+            for world_index in range(engine.num_worlds):
+                if world_index in active_set:
+                    continue
+                offsets = world_offsets[world_index]
+                if offsets[position + 1] > offsets[position]:
+                    dirty.append(world_index)
+                else:
+                    clean += 1
+        else:
+            clean = engine.num_worlds - len(active)
+
+        coupons = list(self._base_coupons)
+        coupons[position] = seed_coupons
+        return self._splice(
+            dirty, new_seed_indices, coupons, clean_node=position, clean_count=clean
+        )
+
+    def refresh_benefit(self, outcome: DeltaOutcome) -> float:
+        """Re-derive an outcome's benefit against the *current* snapshot.
+
+        Valid only while the outcome's per-world deltas still hold for the
+        current base (the caller's invalidation rule guarantees this); the
+        result is bit-identical to re-running the evaluation from scratch.
+        """
+        self._require_snapshot()
+        if not outcome.exact:
+            raise EstimationError("cannot refresh a fallback delta outcome")
+        counts = self._base_counts.copy()
+        if outcome.delta_index is not None and outcome.delta_index.size:
+            counts[outcome.delta_index] += outcome.delta_values
+        return float(counts @ self.engine.compiled.benefits) / self.engine.num_worlds
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_snapshot(self) -> None:
+        if self._base_counts is None:
+            raise EstimationError("DeltaCascadeEngine has no snapshot yet")
+
+    def _unchanged(self) -> DeltaOutcome:
+        empty = np.empty(0, dtype=np.int64)
+        return DeltaOutcome(
+            benefit=self.base_benefit,
+            delta_index=empty,
+            delta_values=empty,
+            dirty_worlds=(),
+            touched=frozenset(),
+            exact=True,
+        )
+
+    def _splice(
+        self,
+        dirty: List[int],
+        seed_indices: List[int],
+        coupons: List[int],
+        *,
+        clean_node: Optional[int] = None,
+        clean_count: int = 0,
+    ) -> DeltaOutcome:
+        """Re-simulate ``dirty`` worlds and splice them into the base counts."""
+        engine = self.engine
+        compiled = engine.compiled
+        num_nodes = compiled.num_nodes
+
+        removed: List[int] = []
+        added: List[int] = []
+        touched: set = set()
+        for world_index in dirty:
+            queue, limited = engine.cascade_world_instrumented(
+                world_index, seed_indices, coupons
+            )
+            removed.extend(self._base_queues[world_index])
+            added.extend(queue)
+            touched.update(limited)
+
+        counts = self._base_counts.copy()
+        if clean_node is not None and clean_count:
+            counts[clean_node] += clean_count
+        if removed:
+            counts -= np.bincount(
+                np.asarray(removed, dtype=np.int64), minlength=num_nodes
+            )
+        if added:
+            counts += np.bincount(
+                np.asarray(added, dtype=np.int64), minlength=num_nodes
+            )
+        benefit = float(counts @ compiled.benefits) / engine.num_worlds
+
+        delta = counts - self._base_counts
+        delta_index = np.flatnonzero(delta)
+        node_ids = compiled.node_ids
+        return DeltaOutcome(
+            benefit=benefit,
+            delta_index=delta_index,
+            delta_values=delta[delta_index],
+            dirty_worlds=tuple(dirty),
+            touched=frozenset(node_ids[i] for i in touched),
+            exact=True,
+        )
+
+    def _fallback(
+        self, seed_indices: List[int], new_allocation: Mapping[NodeId, int]
+    ) -> DeltaOutcome:
+        """Full engine pass for queries the snapshot cannot answer."""
+        compiled = self.engine.compiled
+        node_ids = compiled.node_ids
+        seeds = [node_ids[i] for i in seed_indices]
+        _, benefit = self.engine.run(seeds, new_allocation)
+        return DeltaOutcome(
+            benefit=benefit,
+            delta_index=None,
+            delta_values=None,
+            dirty_worlds=None,
+            touched=frozenset(),
+            exact=False,
+        )
+
+
+def _normalize(allocation: Mapping[NodeId, int]) -> Dict[NodeId, int]:
+    """Positive entries only — the cascade's view of an allocation."""
+    return {node: int(count) for node, count in allocation.items() if int(count) > 0}
+
+
+def _single_increase(
+    base: Mapping[NodeId, int], new: Mapping[NodeId, int], node: NodeId
+) -> bool:
+    """Whether ``new`` equals ``base`` except for a raised count on ``node``."""
+    if new.get(node, 0) <= base.get(node, 0):
+        return False
+    if len(new) - len(base) not in (0, 1):
+        return False
+    for key, value in new.items():
+        if key != node and base.get(key, 0) != value:
+            return False
+    for key in base:
+        if key != node and key not in new:
+            return False
+    return True

@@ -111,6 +111,23 @@ class CompiledCascadeEngine:
         order; ``coupons`` is a dense per-node coupon vector.  The returned
         list is in activation (FIFO) order, seeds first.
         """
+        return self.cascade_world_instrumented(world_index, seed_indices, coupons)[0]
+
+    def cascade_world_instrumented(
+        self, world_index: int, seed_indices: List[int], coupons: List[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Cascade in one world, also reporting coupon-limited holders.
+
+        Returns ``(queue, limited)`` where ``queue`` is exactly what
+        :meth:`cascade_world` returns and ``limited`` lists (in dequeue
+        order) every activated node whose coupon supply was — conservatively
+        — the binding constraint of its hand-out walk: either it was dequeued
+        with no coupons while holding live out-edges, or its walk broke on
+        coupon exhaustion before reaching the end of its live edge list.
+        Giving any such node one more coupon is the *only* way a single-node
+        coupon increment can change this world's outcome, which is what the
+        delta-evaluation engine (:mod:`repro.diffusion.delta`) keys on.
+        """
         self._stamp += 1
         stamp = self._stamp
         visited = self._visited
@@ -118,6 +135,7 @@ class CompiledCascadeEngine:
         offsets = self._world_offsets[world_index]
 
         queue: List[int] = []
+        limited: List[int] = []
         for seed in seed_indices:
             visited[seed] = stamp
             queue.append(seed)
@@ -127,21 +145,26 @@ class CompiledCascadeEngine:
             user = queue[head]
             head += 1
             remaining = coupons[user]
-            if remaining <= 0:
-                continue
             low = offsets[user]
             high = offsets[user + 1]
+            if remaining <= 0:
+                if low < high:
+                    limited.append(user)
+                continue
             if low == high:
                 continue
-            for neighbor in targets[low:high]:
+            for position in range(low, high):
+                neighbor = targets[position]
                 if visited[neighbor] == stamp:
                     continue
                 visited[neighbor] = stamp
                 queue.append(neighbor)
                 remaining -= 1
                 if remaining <= 0:
+                    if position < high - 1:
+                        limited.append(user)
                     break
-        return queue
+        return queue, limited
 
     # ------------------------------------------------------------------
     # estimator-facing API
@@ -156,10 +179,16 @@ class CompiledCascadeEngine:
         ``activation_counts[i]`` is the number of worlds in which compiled
         node ``i`` ended up activated.  Both quantities come out of the same
         pass, so callers needing benefit *and* probabilities pay for one.
+
+        Seed *order* is canonicalised (sorted by ``str``) before the cascade:
+        the queue order is seed-order dependent, and every consumer — the
+        estimator's order-insensitive memoisation, the delta engine's
+        snapshot matching — treats deployments with equal seed sets as equal.
+        Use :meth:`cascade_world` directly for explicit-order experiments.
         """
         compiled = self.compiled
         num_nodes = compiled.num_nodes
-        seed_indices = compiled.indices_of(seeds)
+        seed_indices = compiled.indices_of(sorted(seeds, key=str))
         if not seed_indices:
             return np.zeros(num_nodes, dtype=np.int64), 0.0
 

@@ -39,6 +39,7 @@ def make_estimator(
     cache_size: int = 50_000,
     max_exact_edges: int = 20,
     num_rr_sets: Optional[int] = None,
+    incremental: bool = True,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -60,6 +61,10 @@ def make_estimator(
     num_rr_sets:
         RR-set count; defaults to ``max(2000, 25 * num_nodes)`` so every node
         gets a usable number of rooted samples.
+    incremental:
+        Attach the delta-evaluation engine to the compiled Monte-Carlo
+        backend (default on; ignored by the other methods).  See
+        :mod:`repro.diffusion.delta`.
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -73,6 +78,7 @@ def make_estimator(
             seed=seed,
             cache_size=cache_size,
             backend="compiled",
+            incremental=incremental,
         )
     if method == "mc":
         return MonteCarloEstimator(

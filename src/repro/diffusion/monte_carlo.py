@@ -33,14 +33,21 @@ summation order).
 
 Results are memoised on the (frozen) deployment, because the greedy loops of
 S3CA re-evaluate the same base deployment against many candidate increments.
+The memo key is order-insensitive, so the estimator must be too: seed
+iterables are canonicalised (sorted by ``str``) before they reach the cascade,
+whose queue order is seed-order dependent.  Without this, two deployments with
+the same seed *set* but different set-iteration orders could produce different
+estimates while sharing a cache entry — and the delta-evaluation engine could
+never match a re-built deployment against its snapshot.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.diffusion.delta import DeltaCascadeEngine, DeltaOutcome
 from repro.diffusion.engine import CompiledCascadeEngine
 from repro.diffusion.estimator import BenefitEstimator, DeploymentKey
 from repro.diffusion.live_edge import LiveEdgeWorld, cascade_in_world, sample_worlds
@@ -74,6 +81,13 @@ class MonteCarloEstimator(BenefitEstimator):
     backend:
         ``"compiled"`` (CSR + vectorized engine), ``"dict"`` (the original
         adjacency-dict cascade) or ``"auto"`` (currently ``compiled``).
+    incremental:
+        When ``True`` (the default) and the backend is compiled, a
+        :class:`~repro.diffusion.delta.DeltaCascadeEngine` is attached so the
+        greedy loops can evaluate single-investment changes against a
+        snapshotted base deployment by re-simulating only the worlds the
+        change can affect — with bit-identical results to a full pass.  The
+        flag is ignored (treated as ``False``) on the dict backend.
     """
 
     def __init__(
@@ -84,6 +98,7 @@ class MonteCarloEstimator(BenefitEstimator):
         *,
         cache_size: int = 50_000,
         backend: str = "auto",
+        incremental: bool = True,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -97,10 +112,17 @@ class MonteCarloEstimator(BenefitEstimator):
         self.backend = "compiled" if backend == "auto" else backend
         self._worlds: Tuple[LiveEdgeWorld, ...] = ()
         self._engine = None
+        self._delta: Optional[DeltaCascadeEngine] = None
+        self._delta_base_key: Optional[DeploymentKey] = None
         if self.backend == "compiled":
-            self._engine = CompiledCascadeEngine(graph, self.num_samples, seed)
+            self._engine = CompiledCascadeEngine(
+                graph.compiled(), self.num_samples, seed
+            )
+            if incremental:
+                self._delta = DeltaCascadeEngine(self._engine)
         else:
             self._worlds = tuple(sample_worlds(graph, self.num_samples, seed))
+        self.incremental = self._delta is not None
         self._benefit_cache: Dict[DeploymentKey, float] = {}
         self._probability_cache: Dict[DeploymentKey, Dict[NodeId, float]] = {}
         self.evaluations = 0
@@ -110,7 +132,7 @@ class MonteCarloEstimator(BenefitEstimator):
     def expected_benefit(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
     ) -> float:
-        seeds = list(seeds)
+        seeds = _canonical_seeds(seeds)
         key = self._key(seeds, allocation)
         cached = self._benefit_cache.get(key)
         if cached is not None:
@@ -125,7 +147,7 @@ class MonteCarloEstimator(BenefitEstimator):
     def activation_probabilities(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
     ) -> Dict[NodeId, float]:
-        seeds = list(seeds)
+        seeds = _canonical_seeds(seeds)
         key = self._key(seeds, allocation)
         cached = self._probability_cache.get(key)
         if cached is not None:
@@ -161,6 +183,104 @@ class MonteCarloEstimator(BenefitEstimator):
         self._probability_cache.clear()
 
     # ------------------------------------------------------------------
+    # incremental (delta) evaluation
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether the delta-evaluation engine is available."""
+        return self._delta is not None
+
+    def snapshot_base(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> float:
+        """Make ``(seeds, allocation)`` the delta-evaluation base deployment.
+
+        A no-op when the deployment is already the snapshot.  The
+        instrumented pass doubles as a full evaluation: both the expected
+        benefit and the activation probabilities of the base are memoised, so
+        the surrounding greedy loop pays one pass per iteration in total.
+        Returns the base expected benefit.
+        """
+        delta = self._require_delta()
+        seeds = _canonical_seeds(seeds)
+        key = self._key(seeds, allocation)
+        if key == self._delta_base_key and delta.has_snapshot:
+            return delta.base_benefit
+        counts, benefit = delta.snapshot(seeds, allocation)
+        self._delta_base_key = key
+        self._remember(self._benefit_cache, key, benefit)
+        self._remember(
+            self._probability_cache, key, self._counts_to_probabilities(counts)
+        )
+        self.evaluations += 1
+        return benefit
+
+    def delta_extra_coupon(
+        self,
+        base_seeds: Iterable[NodeId],
+        base_allocation: Mapping[NodeId, int],
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> DeltaOutcome:
+        """Benefit of the base deployment with one more coupon on ``node``."""
+        delta = self._require_delta()
+        self.snapshot_base(base_seeds, base_allocation)
+        new_seeds = _canonical_seeds(new_seeds)
+        outcome = delta.eval_extra_coupon(node, new_seeds, new_allocation)
+        self._remember(
+            self._benefit_cache, self._key(new_seeds, new_allocation), outcome.benefit
+        )
+        self.evaluations += 1
+        return outcome
+
+    def delta_new_seed(
+        self,
+        base_seeds: Iterable[NodeId],
+        base_allocation: Mapping[NodeId, int],
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> DeltaOutcome:
+        """Benefit of the base deployment with ``node`` added as a seed."""
+        delta = self._require_delta()
+        self.snapshot_base(base_seeds, base_allocation)
+        new_seeds = _canonical_seeds(new_seeds)
+        outcome = delta.eval_new_seed(node, new_seeds, new_allocation)
+        self._remember(
+            self._benefit_cache, self._key(new_seeds, new_allocation), outcome.benefit
+        )
+        self.evaluations += 1
+        return outcome
+
+    def refresh_delta_benefit(
+        self,
+        outcome: DeltaOutcome,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> float:
+        """Re-derive a still-valid outcome's benefit against the current base."""
+        delta = self._require_delta()
+        benefit = delta.refresh_benefit(outcome)
+        self._remember(
+            self._benefit_cache, self._key(new_seeds, new_allocation), benefit
+        )
+        return benefit
+
+    def coupon_dirty_worlds(self, node: NodeId) -> Tuple[int, ...]:
+        """Worlds an extra coupon on ``node`` can change, per current snapshot."""
+        return self._require_delta().coupon_dirty_worlds(node)
+
+    def _require_delta(self) -> DeltaCascadeEngine:
+        if self._delta is None:
+            raise EstimationError(
+                "incremental evaluation requires the compiled backend with "
+                "incremental=True"
+            )
+        return self._delta
+
+    # ------------------------------------------------------------------
 
     def _evaluate_compiled(
         self,
@@ -170,16 +290,20 @@ class MonteCarloEstimator(BenefitEstimator):
     ) -> Tuple[Dict[NodeId, float], float]:
         """One engine pass; memoise both the benefit and the probabilities."""
         counts, benefit = self._engine.run(seeds, allocation)
-        node_ids = self._engine.compiled.node_ids
-        num_samples = self.num_samples
-        probabilities = {
-            node_ids[int(node_index)]: int(counts[node_index]) / num_samples
-            for node_index in np.flatnonzero(counts)
-        }
+        probabilities = self._counts_to_probabilities(counts)
         self._remember(self._benefit_cache, key, benefit)
         self._remember(self._probability_cache, key, probabilities)
         self.evaluations += 1
         return probabilities, benefit
+
+    def _counts_to_probabilities(self, counts: np.ndarray) -> Dict[NodeId, float]:
+        """Activation-count vector -> per-node probability dict (nonzero only)."""
+        node_ids = self._engine.compiled.node_ids
+        num_samples = self.num_samples
+        return {
+            node_ids[int(node_index)]: int(counts[node_index]) / num_samples
+            for node_index in np.flatnonzero(counts)
+        }
 
     def _evaluate_benefit(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
@@ -196,3 +320,8 @@ class MonteCarloEstimator(BenefitEstimator):
         if len(cache) >= self.cache_size:
             cache.clear()
         cache[key] = value
+
+
+def _canonical_seeds(seeds: Iterable[NodeId]) -> list:
+    """Deterministic seed order shared by every evaluation of the same set."""
+    return sorted(seeds, key=str)

@@ -78,6 +78,17 @@ class Scenario:
         """Return a fresh :class:`Budget` ledger for this scenario."""
         return Budget(self.budget_limit)
 
+    def compiled_graph(self):
+        """The scenario graph's cached CSR snapshot.
+
+        Estimators built through :func:`repro.diffusion.factory.make_estimator`
+        on the same scenario share this snapshot, so a ``compare``-style run
+        compiles the graph once.  The cache lives on the
+        :class:`~repro.graph.social_graph.SocialGraph` and is invalidated
+        automatically when the graph is mutated.
+        """
+        return self.graph.compiled()
+
     @property
     def num_nodes(self) -> int:
         """Number of users."""

@@ -47,6 +47,10 @@ class ExperimentConfig:
     max_pivot_candidates: Optional[int] = 150
     limited_coupons: int = 32
     estimator_method: str = DEFAULT_ESTIMATOR_METHOD
+    #: Delta-evaluation engine + CELF lazy queue for S3CA's ID phase.  The
+    #: selected deployments are bit-identical either way; False forces the
+    #: eager full-resimulation reference path.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.estimator_method not in ESTIMATOR_METHODS:

@@ -59,6 +59,7 @@ class ExperimentRunner:
             self.config.estimator_method,
             num_samples=self.config.num_samples,
             seed=self.config.seed,
+            incremental=self.config.incremental,
         )
 
     # ------------------------------------------------------------------
@@ -96,6 +97,7 @@ class ExperimentRunner:
                     estimator=est,
                     candidate_limit=config.candidate_limit,
                     max_pivot_candidates=config.max_pivot_candidates,
+                    incremental=config.incremental,
                 ),
             )
         )

@@ -78,12 +78,14 @@ def measure_s3ca(
         config.estimator_method,
         num_samples=config.num_samples,
         seed=config.seed,
+        incremental=config.incremental,
     )
     algorithm = S3CA(
         scenario,
         estimator=estimator,
         candidate_limit=config.candidate_limit,
         max_pivot_candidates=config.max_pivot_candidates,
+        incremental=config.incremental,
     )
     with Timer() as timer:
         result = algorithm.solve()

@@ -51,6 +51,9 @@ class SocialGraph:
         self._pred: Dict[NodeId, Dict[NodeId, float]] = {}
         self._ranked_cache: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
         self._num_edges = 0
+        self._version = 0
+        self._compiled_cache = None
+        self._compiled_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +84,7 @@ class SocialGraph:
         self._attrs[node] = base
         self._succ.setdefault(node, {})
         self._pred.setdefault(node, {})
+        self._version += 1
 
     def add_edge(self, source: NodeId, target: NodeId, probability: float) -> None:
         """Add a directed edge ``source -> target`` with influence probability.
@@ -102,6 +106,7 @@ class SocialGraph:
         self._succ[source][target] = float(probability)
         self._pred[target][source] = float(probability)
         self._ranked_cache.pop(source, None)
+        self._version += 1
 
     def remove_edge(self, source: NodeId, target: NodeId) -> None:
         """Remove the edge ``source -> target``."""
@@ -111,11 +116,13 @@ class SocialGraph:
         del self._pred[target][source]
         self._num_edges -= 1
         self._ranked_cache.pop(source, None)
+        self._version += 1
 
     def set_attributes(self, node: NodeId, attributes: NodeAttributes) -> None:
         """Replace the attributes of an existing node."""
         self._require_node(node)
         self._attrs[node] = attributes
+        self._version += 1
 
     def update_attributes(self, mapping: Mapping[NodeId, NodeAttributes]) -> None:
         """Replace the attributes of several nodes at once."""
@@ -125,6 +132,31 @@ class SocialGraph:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by every structural/attribute edit).
+
+        Used to invalidate derived snapshots such as the cached
+        :class:`~repro.graph.csr.CompiledGraph` — see :meth:`compiled`.
+        """
+        return self._version
+
+    def compiled(self):
+        """The CSR snapshot of this graph, compiled once and cached.
+
+        Every estimator built on the same (unmutated) graph shares one
+        :class:`~repro.graph.csr.CompiledGraph`, so ``compare``-style
+        experiment runs pay the compilation cost once instead of once per
+        algorithm.  Any mutation (node/edge/attribute change) invalidates the
+        cache and the next call recompiles.
+        """
+        if self._compiled_cache is None or self._compiled_version != self._version:
+            from repro.graph.csr import CompiledGraph
+
+            self._compiled_cache = CompiledGraph.from_social_graph(self)
+            self._compiled_version = self._version
+        return self._compiled_cache
 
     @property
     def num_nodes(self) -> int:
@@ -308,6 +340,7 @@ class SocialGraph:
                 self._succ[source][target] = probability
                 self._pred[target][source] = probability
                 self._ranked_cache.pop(source, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # internals

@@ -84,6 +84,29 @@ def test_key_is_order_insensitive(two_hop_path):
     assert first.key() == second.key()
 
 
+def test_key_is_memoised_on_the_instance(two_hop_path):
+    deployment = Deployment(two_hop_path, seeds=["a"], allocation={"a": 1})
+    first = deployment.key()
+    assert deployment.key() is first  # cached, not recomputed
+
+
+def test_key_memo_invalidated_by_allocation_mutation(two_hop_path):
+    deployment = Deployment(two_hop_path, seeds=["a"], allocation={"a": 1})
+    stale = deployment.key()
+    deployment.allocation.set("b", 1)  # in-place edit, as the baselines do
+    fresh = deployment.key()
+    assert fresh != stale
+    assert fresh[1] == (("a", 1), ("b", 1))
+
+
+def test_key_memo_not_shared_by_variants(two_hop_path):
+    base = Deployment(two_hop_path, seeds=["a"], allocation={"a": 1})
+    base_key = base.key()
+    variant = base.with_extra_coupon("b")
+    assert variant.key() != base_key
+    assert base.key() == base_key
+
+
 def test_summary_contains_expected_fields(two_hop_path):
     estimator = ExactEstimator(two_hop_path)
     deployment = Deployment(two_hop_path, seeds=["a"], allocation={"a": 1})

@@ -1,0 +1,185 @@
+"""Parity tests for the incremental delta-evaluation engine.
+
+The contract under test is strict: for any base deployment and any
+single-investment change, the delta path must reproduce the full
+:meth:`CompiledCascadeEngine.run` pass **bit for bit** — identical activation
+counts and an identical expected-benefit float — because the greedy loops
+compare these numbers with exact float comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.delta import DeltaCascadeEngine
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.experiments.scalability import synthetic_scenario
+from repro.utils.rng import spawn_rng
+
+NUM_WORLDS = 40
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return synthetic_scenario(120, budget=60.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def engine(scenario):
+    return CompiledCascadeEngine(scenario.graph.compiled(), NUM_WORLDS, seed=17)
+
+
+def _random_deployment(graph, rng, num_seeds=4, num_holders=8):
+    nodes = list(graph.nodes())
+    picks = rng.choice(len(nodes), size=num_seeds + num_holders, replace=False)
+    seeds = [nodes[int(i)] for i in picks[:num_seeds]]
+    allocation = {}
+    for i in picks[: num_seeds + num_holders // 2]:
+        node = nodes[int(i)]
+        degree = graph.out_degree(node)
+        if degree:
+            allocation[node] = min(degree, 1 + int(i) % 3)
+    return seeds, allocation
+
+
+def _counts_of(delta, outcome):
+    counts = delta._base_counts.copy()
+    counts[outcome.delta_index] += outcome.delta_values
+    return counts
+
+
+def test_snapshot_matches_full_run(scenario, engine):
+    delta = DeltaCascadeEngine(engine)
+    rng = spawn_rng(1)
+    seeds, allocation = _random_deployment(scenario.graph, rng)
+    counts, benefit = delta.snapshot(seeds, allocation)
+    full_counts, full_benefit = engine.run(seeds, allocation)
+    assert np.array_equal(counts, full_counts)
+    assert benefit == full_benefit
+
+
+@pytest.mark.parametrize("trial", range(12))
+def test_extra_coupon_delta_is_bit_identical(scenario, engine, trial):
+    graph = scenario.graph
+    delta = DeltaCascadeEngine(engine)
+    rng = spawn_rng(100 + trial)
+    seeds, allocation = _random_deployment(graph, rng)
+    delta.snapshot(seeds, allocation)
+
+    nodes = list(graph.nodes())
+    tested = 0
+    for i in rng.choice(len(nodes), size=20, replace=False):
+        node = nodes[int(i)]
+        degree = graph.out_degree(node)
+        if degree == 0 or allocation.get(node, 0) >= degree:
+            continue
+        new_allocation = dict(allocation)
+        new_allocation[node] = new_allocation.get(node, 0) + 1
+        outcome = delta.eval_extra_coupon(node, seeds, new_allocation)
+        full_counts, full_benefit = engine.run(seeds, new_allocation)
+        assert outcome.exact
+        assert outcome.benefit == full_benefit
+        assert np.array_equal(_counts_of(delta, outcome), full_counts)
+        tested += 1
+    assert tested > 0
+
+
+@pytest.mark.parametrize("trial", range(12))
+def test_new_seed_delta_is_bit_identical(scenario, engine, trial):
+    graph = scenario.graph
+    delta = DeltaCascadeEngine(engine)
+    rng = spawn_rng(200 + trial)
+    seeds, allocation = _random_deployment(graph, rng)
+    delta.snapshot(seeds, allocation)
+
+    nodes = list(graph.nodes())
+    tested = 0
+    for i in rng.choice(len(nodes), size=12, replace=False):
+        node = nodes[int(i)]
+        if node in seeds:
+            continue
+        new_seeds = seeds + [node]
+        outcome = delta.eval_new_seed(node, new_seeds, allocation)
+        full_counts, full_benefit = engine.run(new_seeds, allocation)
+        assert outcome.exact
+        assert outcome.benefit == full_benefit
+        assert np.array_equal(_counts_of(delta, outcome), full_counts)
+
+        # ... and with a first coupon on the new seed, the pivot-queue shape.
+        if graph.out_degree(node) > allocation.get(node, 0):
+            new_allocation = dict(allocation)
+            new_allocation[node] = max(allocation.get(node, 0), 1)
+            outcome = delta.eval_new_seed(node, new_seeds, new_allocation)
+            full_counts, full_benefit = engine.run(new_seeds, new_allocation)
+            assert outcome.benefit == full_benefit
+            assert np.array_equal(_counts_of(delta, outcome), full_counts)
+        tested += 1
+    assert tested > 0
+
+
+def test_refresh_benefit_matches_fresh_evaluation(scenario, engine):
+    """A still-valid outcome re-derived against the same snapshot is exact."""
+    graph = scenario.graph
+    delta = DeltaCascadeEngine(engine)
+    rng = spawn_rng(42)
+    seeds, allocation = _random_deployment(graph, rng)
+    delta.snapshot(seeds, allocation)
+    nodes = [n for n in graph.nodes() if graph.out_degree(n) > allocation.get(n, 0)]
+    node = nodes[0]
+    new_allocation = dict(allocation)
+    new_allocation[node] = new_allocation.get(node, 0) + 1
+    outcome = delta.eval_extra_coupon(node, seeds, new_allocation)
+    assert delta.refresh_benefit(outcome) == outcome.benefit
+
+
+def test_mismatched_query_falls_back_to_exact_full_pass(scenario, engine):
+    """A multi-node change cannot use the snapshot but stays correct."""
+    graph = scenario.graph
+    delta = DeltaCascadeEngine(engine)
+    rng = spawn_rng(7)
+    seeds, allocation = _random_deployment(graph, rng)
+    delta.snapshot(seeds, allocation)
+    nodes = [n for n in graph.nodes() if graph.out_degree(n) > allocation.get(n, 0)]
+    new_allocation = dict(allocation)
+    for node in nodes[:2]:  # two increments at once: not a single delta
+        new_allocation[node] = new_allocation.get(node, 0) + 1
+    outcome = delta.eval_extra_coupon(nodes[0], seeds, new_allocation)
+    _, full_benefit = engine.run(seeds, new_allocation)
+    assert not outcome.exact
+    assert outcome.benefit == full_benefit
+
+
+def test_estimator_delta_methods_match_plain_evaluation(scenario):
+    """The estimator-level delta API returns the plain-path benefits."""
+    graph = scenario.graph
+    plain = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=3,
+                                incremental=False)
+    incremental = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=3)
+    assert incremental.supports_incremental and not plain.supports_incremental
+
+    rng = spawn_rng(9)
+    seeds, allocation = _random_deployment(graph, rng)
+    base = incremental.snapshot_base(seeds, allocation)
+    assert base == plain.expected_benefit(seeds, allocation)
+    assert incremental.activation_probabilities(
+        seeds, allocation
+    ) == plain.activation_probabilities(seeds, allocation)
+
+    node = next(
+        n for n in graph.nodes()
+        if graph.out_degree(n) > allocation.get(n, 0)
+    )
+    new_allocation = dict(allocation)
+    new_allocation[node] = new_allocation.get(node, 0) + 1
+    outcome = incremental.delta_extra_coupon(
+        seeds, allocation, node, seeds, new_allocation
+    )
+    assert outcome.benefit == plain.expected_benefit(seeds, new_allocation)
+
+    new_seed = next(n for n in graph.nodes() if n not in seeds)
+    outcome = incremental.delta_new_seed(
+        seeds, allocation, new_seed, seeds + [new_seed], allocation
+    )
+    assert outcome.benefit == plain.expected_benefit(seeds + [new_seed], allocation)

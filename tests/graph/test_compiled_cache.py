@@ -1,0 +1,47 @@
+"""The CSR snapshot cache on SocialGraph / Scenario and its invalidation."""
+
+from __future__ import annotations
+
+from repro.diffusion.factory import make_estimator
+from repro.experiments.datasets import toy_scenario
+
+
+def test_compiled_is_cached_until_mutation(toy):
+    graph = toy.graph
+    first = graph.compiled()
+    assert graph.compiled() is first  # cache hit
+
+    node = next(iter(graph.nodes()))
+    graph.add_node(node, benefit=123.0)  # attribute mutation bumps the version
+    second = graph.compiled()
+    assert second is not first
+    assert second.benefits[second.index_of(node)] == 123.0
+
+
+def test_scenario_compiled_graph_shared_across_estimators():
+    scenario = toy_scenario()
+    first = make_estimator(scenario, "mc-compiled", num_samples=10, seed=1)
+    second = make_estimator(scenario, "mc-compiled", num_samples=20, seed=2)
+    # Both estimators run on the scenario's single cached CSR snapshot.
+    assert first._engine.compiled is scenario.compiled_graph()
+    assert second._engine.compiled is scenario.compiled_graph()
+
+
+def test_edge_mutations_invalidate_cache(toy):
+    graph = toy.graph
+    before = graph.compiled()
+    nodes = list(graph.nodes())
+    graph.add_edge(nodes[0], nodes[-1], 0.25)
+    after = graph.compiled()
+    assert after is not before
+    assert after.num_edges == before.num_edges + 1
+    graph.remove_edge(nodes[0], nodes[-1])
+    assert graph.compiled() is not after
+    assert graph.compiled().num_edges == before.num_edges
+
+
+def test_copy_does_not_share_cache(toy):
+    graph = toy.graph
+    original = graph.compiled()
+    clone = graph.copy()
+    assert clone.compiled() is not original
