@@ -1,0 +1,215 @@
+"""Serial vs sharded vs multiprocess Monte-Carlo estimation throughput.
+
+PR 3's sharding layer bounds peak memory to O(shard_size) worlds and the
+multiprocess shard executor spreads the per-world cascades over a persistent
+process pool — both bit-identical to the monolithic serial path.  This
+benchmark measures what those knobs buy on a Fig. 9-style synthetic graph:
+
+* **throughput** — full-pass benefit evaluations per second for the serial
+  resident-worlds estimator vs the worker pool (distinct deployments each
+  call, so the memo cache never short-circuits the engine);
+* **peak memory** — ``tracemalloc`` peak of building the engine and running
+  one pass, monolithic vs sharded (the world adjacency lists dominate, so the
+  sharded peak should track the shard, not the sample count);
+* **parity** — every parallel/sharded benefit must equal the serial one bit
+  for bit; the benchmark fails otherwise, whatever the speedup.
+
+The measured points are appended to ``BENCH_parallel.json`` at the repository
+root, so successive runs accumulate a performance trajectory.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_PARALLEL_SIZES``
+    Comma-separated network sizes (default ``2000,6000`` — large enough that
+    one full pass costs milliseconds, the regime the pool is built for).
+``REPRO_BENCH_PARALLEL_SAMPLES``
+    Monte-Carlo worlds (default ``300``).
+``REPRO_BENCH_PARALLEL_WORKERS``
+    Pool size (default ``4``).
+``REPRO_BENCH_PARALLEL_EVALS``
+    Distinct deployments evaluated per timing (default ``20``).
+``REPRO_BENCH_PARALLEL_MIN_SPEEDUP``
+    Throughput gate on the largest graph (default ``2.0``).  Only enforced
+    when the machine actually has at least two usable cores — on a single
+    -core box the numbers are recorded but a speedup is physically
+    impossible, so the gate is skipped.
+``REPRO_BENCH_PARALLEL_MAX_MEM_RATIO``
+    Gate on sharded peak memory as a fraction of the monolithic peak
+    (default ``0.7``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.experiments.reporting import format_table
+from repro.experiments.scalability import synthetic_scenario
+from repro.utils.timer import Timer
+
+SIZES = [
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_PARALLEL_SIZES", "2000,6000").split(",")
+]
+NUM_SAMPLES = int(os.environ.get("REPRO_BENCH_PARALLEL_SAMPLES", "300"))
+WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
+NUM_EVALS = int(os.environ.get("REPRO_BENCH_PARALLEL_EVALS", "20"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PARALLEL_MIN_SPEEDUP", "2.0"))
+MAX_MEM_RATIO = float(os.environ.get("REPRO_BENCH_PARALLEL_MAX_MEM_RATIO", "0.7"))
+SHARD_SIZE = max(1, NUM_SAMPLES // 8)
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _deployments(scenario, count):
+    """``count`` distinct heavy deployments (distinct memo keys).
+
+    Coupons go to every spreader so cascades run deep — the regime where a
+    single evaluation is expensive enough for the pool to amortise its IPC.
+    Rotating the seed pair and one coupon count keeps every memo key
+    distinct without changing the workload's scale.
+    """
+    graph = scenario.graph
+    nodes = list(graph.nodes())
+    spreaders = sorted(
+        (node for node in nodes if graph.out_degree(node)),
+        key=lambda node: -graph.out_degree(node),
+    )
+    deployments = []
+    for i in range(count):
+        seeds = [
+            spreaders[i % min(10, len(spreaders))],
+            nodes[(11 * i + 3) % len(nodes)],
+        ]
+        allocation = {
+            node: 1 + (i + j) % 3 for j, node in enumerate(spreaders)
+        }
+        deployments.append((seeds, allocation))
+    return deployments
+
+
+def _throughput(engine, deployments):
+    """(benefits, evals/sec) for one full-pass evaluation per deployment."""
+    with Timer() as timer:
+        benefits = [
+            engine.expected_benefit(seeds, allocation)
+            for seeds, allocation in deployments
+        ]
+    return benefits, len(deployments) / timer.elapsed if timer.elapsed else float("inf")
+
+
+def _peak_memory(compiled, shard_size, deployment):
+    """tracemalloc peak of engine construction + one pass, in bytes."""
+    seeds, allocation = deployment
+    tracemalloc.start()
+    try:
+        engine = CompiledCascadeEngine(
+            compiled, NUM_SAMPLES, seed=BENCH_SEED, shard_size=shard_size
+        )
+        engine.expected_benefit(seeds, allocation)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _append_trajectory(points):
+    data = {"benchmark": "parallel_estimation", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        try:
+            loaded = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable: start a fresh trajectory
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "num_samples": NUM_SAMPLES,
+            "shard_size": SHARD_SIZE,
+            "workers": WORKERS,
+            "evaluations": NUM_EVALS,
+            "usable_cores": _usable_cores(),
+            "points": points,
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_estimation_throughput_and_memory(report):
+    rows = []
+    points = []
+    for size in SIZES:
+        scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
+        compiled = scenario.graph.compiled()
+        deployments = _deployments(scenario, NUM_EVALS)
+
+        serial = CompiledCascadeEngine(compiled, NUM_SAMPLES, seed=BENCH_SEED)
+        serial_benefits, serial_rate = _throughput(serial, deployments)
+
+        parallel = CompiledCascadeEngine(
+            compiled, NUM_SAMPLES, seed=BENCH_SEED,
+            shard_size=SHARD_SIZE, workers=WORKERS,
+        )
+        try:
+            parallel.expected_benefit(*deployments[0])  # warm the pool
+            parallel_benefits, parallel_rate = _throughput(parallel, deployments)
+        finally:
+            parallel.close()
+
+        # Parity is the contract; speed without it is worthless.
+        assert parallel_benefits == serial_benefits
+
+        mono_peak = _peak_memory(compiled, None, deployments[0])
+        shard_peak = _peak_memory(compiled, SHARD_SIZE, deployments[0])
+
+        point = {
+            "nodes": size,
+            "edges": scenario.num_edges,
+            "serial_evals_per_sec": round(serial_rate, 2),
+            "parallel_evals_per_sec": round(parallel_rate, 2),
+            "speedup": round(parallel_rate / serial_rate, 2),
+            "monolithic_peak_mb": round(mono_peak / 1e6, 3),
+            "sharded_peak_mb": round(shard_peak / 1e6, 3),
+            "mem_ratio": round(shard_peak / mono_peak, 3),
+            "identical_benefits": True,
+        }
+        points.append(point)
+        rows.append(point)
+
+    text = format_table(
+        rows,
+        title=(
+            f"Estimation throughput: serial vs {WORKERS}-worker pool "
+            f"({NUM_SAMPLES} worlds, shard_size={SHARD_SIZE}, "
+            f"{_usable_cores()} usable cores)"
+        ),
+    )
+    report("parallel_estimation", text)
+    _append_trajectory(points)
+
+    largest = points[-1]
+    assert largest["mem_ratio"] <= MAX_MEM_RATIO, (
+        f"sharded peak memory is {largest['mem_ratio']:.2f}x the monolithic "
+        f"peak on the largest graph, above the {MAX_MEM_RATIO}x bar"
+    )
+    if _usable_cores() >= 2:
+        assert largest["speedup"] >= MIN_SPEEDUP, (
+            f"parallel throughput speedup on the largest graph "
+            f"({largest['nodes']} nodes) is {largest['speedup']:.2f}x, below "
+            f"the {MIN_SPEEDUP}x bar"
+        )

@@ -63,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "the delta-evaluation engine + CELF lazy queue (same result, "
                  "slower; mainly for cross-checking)",
         )
+        sub.add_argument(
+            "--shard-size", type=int, default=None,
+            help="evaluate live-edge worlds in blocks of this size (bounds "
+                 "peak memory to O(shard) worlds; any value is bit-identical "
+                 "to the default resident-worlds path)",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=None,
+            help="evaluate world shards on a process pool of this size "
+                 "(deterministic reduction: results are bit-identical for "
+                 "every worker count; default: serial)",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -104,6 +116,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         max_pivot_candidates=args.pivot_limit,
         estimator_method=getattr(args, "estimator", DEFAULT_ESTIMATOR_METHOD),
         incremental=not getattr(args, "no_incremental", False),
+        shard_size=getattr(args, "shard_size", None),
+        workers=getattr(args, "workers", None),
     )
 
 
@@ -145,6 +159,8 @@ def cmd_solve(args: argparse.Namespace) -> str:
         max_pivot_candidates=config.max_pivot_candidates,
         spend_full_budget=getattr(args, "spend_full_budget", False),
         incremental=config.incremental,
+        shard_size=config.shard_size,
+        workers=config.workers,
     ).solve()
     rows = [
         {

@@ -127,6 +127,12 @@ class S3CA:
         any Monte-Carlo evaluation is paid (only meaningful together with
         ``max_pivot_candidates``).  Changes which pivots are considered, so
         off by default.
+    shard_size / workers:
+        Forwarded to the default estimator: sharded world sampling (bounded
+        memory) and the multiprocess shard executor.  Both preserve
+        bit-identical benefit estimates, so the selected deployment is the
+        same for every setting — only speed and memory change.  Ignored when
+        a pre-built ``estimator`` is supplied.
     """
 
     def __init__(
@@ -146,11 +152,14 @@ class S3CA:
         spend_full_budget: bool = False,
         incremental: Optional[bool] = None,
         rr_prescreen: bool = False,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.estimator = estimator or make_estimator(
-            scenario, estimator_method, num_samples=num_samples, seed=seed
+            scenario, estimator_method, num_samples=num_samples, seed=seed,
+            shard_size=shard_size, workers=workers,
         )
         if isinstance(self.estimator, RRBenefitEstimator):
             warnings.warn(

@@ -272,15 +272,18 @@ class DeltaCascadeEngine:
         clean = 0
         if seed_coupons > 0:
             active_set = set(active)
-            world_offsets = engine._world_offsets
-            for world_index in range(engine.num_worlds):
-                if world_index in active_set:
-                    continue
-                offsets = world_offsets[world_index]
-                if offsets[position + 1] > offsets[position]:
-                    dirty.append(world_index)
-                else:
-                    clean += 1
+            # Scan shard blocks in order (bounded memory under sharding) and
+            # keep the historic ascending world order in `dirty`.
+            for start, count, _, offsets_block in engine.world_blocks():
+                for slot in range(count):
+                    world_index = start + slot
+                    if world_index in active_set:
+                        continue
+                    offsets = offsets_block[slot]
+                    if offsets[position + 1] > offsets[position]:
+                        dirty.append(world_index)
+                    else:
+                        clean += 1
         else:
             clean = engine.num_worlds - len(active)
 

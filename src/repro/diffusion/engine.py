@@ -2,13 +2,28 @@
 
 :class:`CompiledCascadeEngine` is the fast replacement for the dict-based
 :func:`~repro.diffusion.live_edge.sample_worlds` +
-:func:`~repro.diffusion.live_edge.cascade_in_world` pair.  It draws *all*
-live-edge coin flips as flat numpy masks up front and pre-resolves, for every
-world, the **live adjacency**: each node's live out-edges in coupon hand-off
-order.  The SC-constrained cascade then never touches a dead edge — under the
+:func:`~repro.diffusion.live_edge.cascade_in_world` pair.  It draws live-edge
+coin flips as flat numpy masks and pre-resolves, for every world, the **live
+adjacency**: each node's live out-edges in coupon hand-off order.  The
+SC-constrained cascade then never touches a dead edge — under the
 weighted-cascade setting (``P(e) = 1/in_degree``) that prunes the per-node walk
 from ``out_degree`` attempts down to roughly one — and runs on flat integer
 arrays instead of per-node dict lookups and per-edge tuple hashing.
+
+Sharded world sampling
+----------------------
+Worlds are produced by a :class:`WorldSampler`, which freezes the RNG state at
+construction and can recreate *any* contiguous block of worlds from scratch by
+skipping the bit stream forward (``bit_generator.advance`` where available,
+chunked draw-and-discard otherwise).  With the default ``shard_size=None`` the
+engine keeps every world resident, exactly as before.  With a ``shard_size``
+the engine materialises worlds in fixed-size blocks — build, evaluate, discard
+— holding at most a couple of blocks at a time, which bounds peak memory to
+O(shard_size × live edges) instead of O(num_worlds × live edges).  Because
+each block is regenerated from the same frozen state at the same stream
+offset, the worlds — and therefore every activation count and expected
+benefit — are **bit-identical** for any shard size, and for any worker count
+(see :mod:`repro.diffusion.parallel`).
 
 Common-random-numbers parity
 ----------------------------
@@ -31,7 +46,9 @@ order while the engine accumulates in activation order.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+import copy
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +58,160 @@ from repro.graph.social_graph import SocialGraph
 from repro.utils.rng import SeedLike, spawn_rng
 
 NodeId = Hashable
+
+#: One world's live adjacency: (targets, offsets) in coupon hand-off order.
+WorldAdjacency = Tuple[List[int], List[int]]
+#: A contiguous block of worlds: parallel lists of targets / offsets.
+WorldBlock = Tuple[List[List[int]], List[List[int]]]
+
+#: How many shard blocks the engine keeps resident at once.  Two covers the
+#: common access patterns (a sequential full pass, plus the delta engine
+#: revisiting the block it just left) without growing with ``num_worlds``.
+_MAX_CACHED_BLOCKS = 2
+
+#: Draw-and-discard chunk for bit generators without ``advance``.
+_DISCARD_CHUNK = 65_536
+
+
+class WorldSampler:
+    """Recreates any block of live-edge worlds from a frozen RNG state.
+
+    The sampler captures the bit-generator state once at construction; a block
+    starting at world ``w`` is then drawn by restoring that state, skipping
+    ``w × num_edges`` doubles (each live-edge coin flip consumes exactly one
+    draw) and flipping the block's coins in ``graph.edges()`` enumeration
+    order.  The skip uses ``bit_generator.advance`` when the bit generator
+    supports it (PCG64, the ``numpy.random.default_rng`` default, does) and
+    falls back to chunked draw-and-discard otherwise — both reproduce the
+    sequential stream bit for bit.
+
+    The sampler is picklable (frozen state + the compiled graph), which is
+    what lets :mod:`repro.diffusion.parallel` ship it to worker processes
+    once and have every worker draw its own shards locally.
+    """
+
+    __slots__ = ("compiled", "bit_generator_class", "state")
+
+    def __init__(self, compiled: CompiledGraph, seed: SeedLike = None) -> None:
+        generator = spawn_rng(seed)
+        bit_generator = generator.bit_generator
+        self.compiled = compiled
+        self.bit_generator_class = type(bit_generator)
+        self.state = copy.deepcopy(bit_generator.state)
+
+    def generator_at(self, world_index: int) -> np.random.Generator:
+        """A generator positioned at the first coin flip of ``world_index``."""
+        bit_generator = self.bit_generator_class()
+        bit_generator.state = copy.deepcopy(self.state)
+        generator = np.random.Generator(bit_generator)
+        skip = world_index * self.compiled.num_edges
+        if skip:
+            advance = getattr(bit_generator, "advance", None)
+            if advance is not None:
+                advance(skip)
+            else:
+                _discard_draws(generator, skip)
+        return generator
+
+    def draw_block(self, start: int, count: int) -> WorldBlock:
+        """Materialise worlds ``start .. start+count-1`` as live adjacencies."""
+        compiled = self.compiled
+        generator = self.generator_at(start)
+        num_edges = compiled.num_edges
+        indptr = compiled.indptr
+        indices = compiled.indices
+        edge_pos = compiled.edge_pos
+        probs = compiled.probs
+        targets_block: List[List[int]] = []
+        offsets_block: List[List[int]] = []
+        for _ in range(count):
+            draws = generator.random(num_edges)  # graph.edges() order
+            live_slots = np.flatnonzero(draws[edge_pos] < probs)
+            targets_block.append(indices[live_slots].tolist())
+            offsets_block.append(np.searchsorted(live_slots, indptr).tolist())
+        return targets_block, offsets_block
+
+
+def _discard_draws(generator: np.random.Generator, count: int) -> None:
+    """Consume ``count`` doubles from ``generator`` (advance() fallback)."""
+    while count > 0:
+        chunk = min(count, _DISCARD_CHUNK)
+        generator.random(chunk)
+        count -= chunk
+
+
+class BlockCache:
+    """Bounded LRU of materialised world blocks, keyed by start index.
+
+    Shared by the engine's sharded mode and the multiprocess workers so the
+    two paths cannot drift; only the capacity differs.
+    """
+
+    __slots__ = ("sampler", "max_blocks", "_blocks")
+
+    def __init__(self, sampler: WorldSampler, max_blocks: int) -> None:
+        self.sampler = sampler
+        self.max_blocks = max_blocks
+        self._blocks: "OrderedDict[int, WorldBlock]" = OrderedDict()
+
+    def block(self, start: int, count: int) -> WorldBlock:
+        blocks = self._blocks
+        block = blocks.get(start)
+        if block is not None:
+            blocks.move_to_end(start)
+            return block
+        block = self.sampler.draw_block(start, count)
+        blocks[start] = block
+        while len(blocks) > self.max_blocks:
+            blocks.popitem(last=False)
+        return block
+
+
+def cascade_block(
+    targets_block: List[List[int]],
+    offsets_block: List[List[int]],
+    seed_indices: List[int],
+    coupons: List[int],
+    visited: List[int],
+    stamp: int,
+) -> Tuple[List[int], int]:
+    """Run the deterministic cascade in every world of a block.
+
+    Returns ``(flat_activations, stamp)`` — the concatenated activation
+    queues of the block's worlds and the last stamp value written into
+    ``visited``.  This is the one cascade inner loop shared by the serial
+    engine and the multiprocess workers, so the two paths cannot drift.
+    ``visited`` is a stamp-versioned scratch array: the caller owns it and
+    must never reuse a stamp value already written.
+    """
+    flat_activations: List[int] = []
+    extend = flat_activations.extend
+    for targets, offsets in zip(targets_block, offsets_block):
+        stamp += 1
+        queue = list(seed_indices)
+        for seed in queue:
+            visited[seed] = stamp
+        head = 0
+        while head < len(queue):
+            user = queue[head]
+            head += 1
+            remaining = coupons[user]
+            if remaining <= 0:
+                continue
+            low = offsets[user]
+            high = offsets[user + 1]
+            if low == high:
+                continue
+            for neighbor in targets[low:high]:
+                if visited[neighbor] == stamp:
+                    continue
+                visited[neighbor] = stamp
+                queue.append(neighbor)
+                remaining -= 1
+                if remaining <= 0:
+                    break
+        extend(queue)
+    return flat_activations, stamp
 
 
 class CompiledCascadeEngine:
@@ -52,10 +223,26 @@ class CompiledCascadeEngine:
         The :class:`CompiledGraph` to run on (or a :class:`SocialGraph`,
         which is compiled on the fly).
     num_worlds:
-        Number of live-edge worlds drawn once at construction and shared by
-        every evaluation (common random numbers).
+        Number of live-edge worlds shared by every evaluation (common random
+        numbers).
     seed:
         RNG seed; the same seed reproduces the dict path's worlds exactly.
+    shard_size:
+        ``None`` (default) keeps every world resident, exactly the historic
+        behaviour.  A positive integer makes the engine materialise worlds in
+        blocks of that size — build, evaluate, discard — bounding peak memory
+        to O(shard_size) worlds while staying bit-identical to the monolithic
+        path for any value.
+    workers:
+        ``None``/``1`` evaluates worlds in-process.  ``workers > 1`` spins up
+        a persistent process pool (lazily, on the first :meth:`run`) that
+        evaluates shard blocks concurrently with a deterministic reduction —
+        see :mod:`repro.diffusion.parallel`.  When ``shard_size`` is not set
+        explicitly, a default of ``ceil(num_worlds / (4 × workers))`` keeps
+        every worker busy with several blocks.
+    start_method:
+        Optional multiprocessing start method (``"fork"``/``"spawn"``/...);
+        default prefers ``fork`` where available.
     """
 
     def __init__(
@@ -63,6 +250,10 @@ class CompiledCascadeEngine:
         compiled: "CompiledGraph | SocialGraph",
         num_worlds: int,
         seed: SeedLike = None,
+        *,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if num_worlds <= 0:
             raise EstimationError(f"num_worlds must be > 0, got {num_worlds}")
@@ -71,32 +262,91 @@ class CompiledCascadeEngine:
         self.compiled = compiled
         self.num_worlds = int(num_worlds)
 
-        generator = spawn_rng(seed)
-        num_edges = compiled.num_edges
-        num_nodes = compiled.num_nodes
-        indptr = compiled.indptr
-        edge_pos = compiled.edge_pos
-        probs = compiled.probs
+        workers = 1 if workers is None else int(workers)
+        if workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._start_method = start_method
 
-        # Per-world live adjacency: the live out-edges of every node, in
-        # hand-off order, as plain int lists (Python-int access in the cascade
-        # inner loop is several times faster than per-element numpy reads).
-        self._world_targets: List[List[int]] = []
-        self._world_offsets: List[List[int]] = []
-        for _ in range(self.num_worlds):
-            draws = generator.random(num_edges)  # graph.edges() order
-            live_slots = np.flatnonzero(draws[edge_pos] < probs)
-            self._world_targets.append(compiled.indices[live_slots].tolist())
-            self._world_offsets.append(
-                np.searchsorted(live_slots, indptr).tolist()
+        if shard_size is not None:
+            shard_size = int(shard_size)
+            if shard_size < 1:
+                raise EstimationError(f"shard_size must be >= 1, got {shard_size}")
+            shard_size = min(shard_size, self.num_worlds)
+        elif workers > 1:
+            # A handful of blocks per worker: enough slack for the pool to
+            # balance, coarse enough to amortise per-task overhead.
+            shard_size = max(1, -(-self.num_worlds // (4 * workers)))
+        else:
+            shard_size = self.num_worlds
+        self.shard_size = shard_size
+
+        self.sampler = WorldSampler(compiled, seed)
+        if isinstance(seed, np.random.Generator):
+            # The monolithic engine used to consume the caller's generator
+            # directly; keep that stream contract so downstream draws from a
+            # shared generator land where they always did.
+            _consume_stream(seed, self.num_worlds * compiled.num_edges)
+
+        # Resident worlds (monolithic mode) or a small LRU of shard blocks.
+        self._world_targets: Optional[List[List[int]]] = None
+        self._world_offsets: Optional[List[List[int]]] = None
+        self._block_cache = BlockCache(self.sampler, _MAX_CACHED_BLOCKS)
+        if self.shard_size >= self.num_worlds:
+            self._world_targets, self._world_offsets = self.sampler.draw_block(
+                0, self.num_worlds
             )
+
+        self._executor = None
 
         # Stamp-versioned visited array shared across cascades: bumping the
         # stamp resets it in O(1) instead of reallocating per world.
-        self._visited: List[int] = [0] * num_nodes
+        self._visited: List[int] = [0] * compiled.num_nodes
         self._stamp = 0
         # Dense coupon buffer reused across evaluations (reset after each).
-        self._coupons: List[int] = [0] * num_nodes
+        self._coupons: List[int] = [0] * compiled.num_nodes
+
+    # ------------------------------------------------------------------
+    # world access
+    # ------------------------------------------------------------------
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether worlds are materialised in blocks rather than resident."""
+        return self._world_targets is None
+
+    def world(self, world_index: int) -> WorldAdjacency:
+        """The live adjacency ``(targets, offsets)`` of one world.
+
+        Resident worlds are returned directly; in sharded mode the world's
+        block is drawn on demand and kept in a small LRU, so sequential
+        access (the snapshot pass, ascending dirty-world lists) regenerates
+        each block exactly once.
+        """
+        if self._world_targets is not None:
+            return self._world_targets[world_index], self._world_offsets[world_index]
+        start = (world_index // self.shard_size) * self.shard_size
+        targets_block, offsets_block = self._block(start)
+        return targets_block[world_index - start], offsets_block[world_index - start]
+
+    def world_blocks(self) -> Iterator[Tuple[int, int, List[List[int]], List[List[int]]]]:
+        """Yield ``(start, count, targets_block, offsets_block)`` per shard.
+
+        In monolithic mode this is a single block covering every world; in
+        sharded mode each block is materialised as it is yielded and only a
+        bounded number stay resident.
+        """
+        for start in range(0, self.num_worlds, self.shard_size):
+            count = min(self.shard_size, self.num_worlds - start)
+            if self._world_targets is not None:
+                yield start, count, self._world_targets, self._world_offsets
+            else:
+                targets_block, offsets_block = self._block(start)
+                yield start, count, targets_block, offsets_block
+
+    def _block(self, start: int) -> WorldBlock:
+        count = min(self.shard_size, self.num_worlds - start)
+        return self._block_cache.block(start, count)
 
     # ------------------------------------------------------------------
     # low-level cascade
@@ -131,8 +381,7 @@ class CompiledCascadeEngine:
         self._stamp += 1
         stamp = self._stamp
         visited = self._visited
-        targets = self._world_targets[world_index]
-        offsets = self._world_offsets[world_index]
+        targets, offsets = self.world(world_index)
 
         queue: List[int] = []
         limited: List[int] = []
@@ -180,6 +429,12 @@ class CompiledCascadeEngine:
         node ``i`` ended up activated.  Both quantities come out of the same
         pass, so callers needing benefit *and* probabilities pay for one.
 
+        Worlds are processed shard by shard — serially, or fanned out over
+        the worker pool when ``workers > 1``.  The per-shard activation
+        counts are integers and are reduced in shard order, so the resulting
+        count vector (and hence the benefit, computed with the same final
+        expression) is bit-identical for every shard size and worker count.
+
         Seed *order* is canonicalised (sorted by ``str``) before the cascade:
         the queue order is seed-order dependent, and every consumer — the
         estimator's order-insensitive memoisation, the delta engine's
@@ -193,65 +448,75 @@ class CompiledCascadeEngine:
             return np.zeros(num_nodes, dtype=np.int64), 0.0
 
         index = compiled.index
-        coupons = self._coupons
-        touched: List[int] = []
+        coupon_items: List[Tuple[int, int]] = []
         for node, count in allocation.items():
             position = index.get(node)
             if position is not None and int(count) > 0:
-                coupons[position] = int(count)
-                touched.append(position)
+                coupon_items.append((position, int(count)))
 
-        # The per-world cascade is inlined here (rather than calling
-        # :meth:`cascade_world`) because this loop runs once per world per
-        # greedy evaluation and locals-only access is measurably faster.
+        if self.workers > 1:
+            counts = self._ensure_executor().run_counts(seed_indices, coupon_items)
+        else:
+            counts = self._run_serial(seed_indices, coupon_items)
+
+        benefit = float(counts @ compiled.benefits) / self.num_worlds
+        return counts, benefit
+
+    def _run_serial(
+        self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Shard-by-shard in-process evaluation; returns activation counts."""
+        coupons = self._coupons
+        for position, count in coupon_items:
+            coupons[position] = count
+
         visited = self._visited
         stamp = self._stamp
         # Reserve the whole stamp range up front: if the loop is interrupted
         # (e.g. KeyboardInterrupt), a later run() must not reuse stamp values
         # already written into `visited`, or it would see phantom activations.
         self._stamp = stamp + self.num_worlds
-        world_targets = self._world_targets
-        world_offsets = self._world_offsets
-        flat_activations: List[int] = []
-        extend = flat_activations.extend
+        counts = np.zeros(self.compiled.num_nodes, dtype=np.int64)
         try:
-            for world_index in range(self.num_worlds):
-                targets = world_targets[world_index]
-                offsets = world_offsets[world_index]
-                stamp += 1
-                queue = list(seed_indices)
-                for seed in queue:
-                    visited[seed] = stamp
-                head = 0
-                while head < len(queue):
-                    user = queue[head]
-                    head += 1
-                    remaining = coupons[user]
-                    if remaining <= 0:
-                        continue
-                    low = offsets[user]
-                    high = offsets[user + 1]
-                    if low == high:
-                        continue
-                    for neighbor in targets[low:high]:
-                        if visited[neighbor] == stamp:
-                            continue
-                        visited[neighbor] = stamp
-                        queue.append(neighbor)
-                        remaining -= 1
-                        if remaining <= 0:
-                            break
-                extend(queue)
+            for _, _, targets_block, offsets_block in self.world_blocks():
+                flat_activations, stamp = cascade_block(
+                    targets_block, offsets_block, seed_indices, coupons,
+                    visited, stamp,
+                )
+                counts += np.bincount(
+                    np.asarray(flat_activations, dtype=np.int64),
+                    minlength=counts.shape[0],
+                )
         finally:
             # Always restore the coupon buffer, even on interruption.
-            for position in touched:
+            for position, _ in coupon_items:
                 coupons[position] = 0
+        return counts
 
-        counts = np.bincount(
-            np.asarray(flat_activations, dtype=np.int64), minlength=num_nodes
-        )
-        benefit = float(counts @ self.compiled.benefits) / self.num_worlds
-        return counts, benefit
+    def _ensure_executor(self):
+        if self._executor is None:
+            from repro.diffusion.parallel import ShardExecutor
+
+            self._executor = ShardExecutor(
+                self.sampler,
+                num_worlds=self.num_worlds,
+                shard_size=self.shard_size,
+                workers=self.workers,
+                start_method=self._start_method,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was started)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "CompiledCascadeEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def expected_benefit(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
@@ -272,3 +537,14 @@ class CompiledCascadeEngine:
             for node_index, count in enumerate(counts)
             if count
         }
+
+
+def _consume_stream(generator: np.random.Generator, num_draws: int) -> None:
+    """Advance a caller-owned generator past ``num_draws`` coin flips."""
+    if num_draws <= 0:
+        return
+    advance = getattr(generator.bit_generator, "advance", None)
+    if advance is not None:
+        advance(num_draws)
+    else:
+        _discard_draws(generator, num_draws)

@@ -40,6 +40,8 @@ def make_estimator(
     max_exact_edges: int = 20,
     num_rr_sets: Optional[int] = None,
     incremental: bool = True,
+    shard_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -65,6 +67,11 @@ def make_estimator(
         Attach the delta-evaluation engine to the compiled Monte-Carlo
         backend (default on; ignored by the other methods).  See
         :mod:`repro.diffusion.delta`.
+    shard_size / workers:
+        Sharded world sampling and the multiprocess shard executor of the
+        compiled Monte-Carlo backend (ignored by the other methods).  Both
+        preserve bit-identical estimates; see
+        :mod:`repro.diffusion.parallel`.
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -79,6 +86,8 @@ def make_estimator(
             cache_size=cache_size,
             backend="compiled",
             incremental=incremental,
+            shard_size=shard_size,
+            workers=workers,
         )
     if method == "mc":
         return MonteCarloEstimator(

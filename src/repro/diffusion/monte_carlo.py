@@ -88,6 +88,18 @@ class MonteCarloEstimator(BenefitEstimator):
         snapshotted base deployment by re-simulating only the worlds the
         change can affect — with bit-identical results to a full pass.  The
         flag is ignored (treated as ``False``) on the dict backend.
+    shard_size:
+        Evaluate worlds in blocks of this size — build, evaluate, discard —
+        bounding peak memory to O(shard_size) worlds instead of
+        O(num_samples).  ``None`` (default) keeps every world resident.  Any
+        value produces bit-identical estimates (compiled backend only; the
+        dict backend ignores it).
+    workers:
+        ``workers > 1`` evaluates shard blocks on a persistent process pool
+        (see :mod:`repro.diffusion.parallel`) with a deterministic reduction:
+        estimates are bit-identical for every worker count.  ``None``/``1``
+        evaluates in-process.  Compiled backend only.  Call :meth:`close` (or
+        use the estimator as a context manager) to release the pool.
     """
 
     def __init__(
@@ -99,6 +111,8 @@ class MonteCarloEstimator(BenefitEstimator):
         cache_size: int = 50_000,
         backend: str = "auto",
         incremental: bool = True,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -116,13 +130,16 @@ class MonteCarloEstimator(BenefitEstimator):
         self._delta_base_key: Optional[DeploymentKey] = None
         if self.backend == "compiled":
             self._engine = CompiledCascadeEngine(
-                graph.compiled(), self.num_samples, seed
+                graph.compiled(), self.num_samples, seed,
+                shard_size=shard_size, workers=workers,
             )
             if incremental:
                 self._delta = DeltaCascadeEngine(self._engine)
         else:
             self._worlds = tuple(sample_worlds(graph, self.num_samples, seed))
         self.incremental = self._delta is not None
+        self.shard_size = self._engine.shard_size if self._engine is not None else None
+        self.workers = self._engine.workers if self._engine is not None else 1
         self._benefit_cache: Dict[DeploymentKey, float] = {}
         self._probability_cache: Dict[DeploymentKey, Dict[NodeId, float]] = {}
         self.evaluations = 0
@@ -181,6 +198,17 @@ class MonteCarloEstimator(BenefitEstimator):
         """Drop all memoised evaluations (worlds are kept)."""
         self._benefit_cache.clear()
         self._probability_cache.clear()
+
+    def close(self) -> None:
+        """Release the worker pool, if one was started (idempotent)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "MonteCarloEstimator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # incremental (delta) evaluation

@@ -1,0 +1,168 @@
+"""Multiprocess shard evaluation for the compiled cascade engine.
+
+The per-world cascades of a Monte-Carlo estimate are embarrassingly parallel:
+every world is an independent deterministic cascade and the estimate is a sum
+of integer activation counts.  :class:`ShardExecutor` exploits that with a
+*persistent* process pool:
+
+* each worker receives the pickled :class:`~repro.diffusion.engine.WorldSampler`
+  (frozen RNG state + the compiled CSR graph) **once**, at pool start-up —
+  per-evaluation tasks only carry the seed indices and the sparse coupon
+  vector;
+* a task is one shard block ``(start, count)``: the worker regenerates the
+  block's worlds locally by skipping the shared RNG stream to
+  ``start × num_edges`` (bit-identical to the serial draw), runs the shared
+  :func:`~repro.diffusion.engine.cascade_block` inner loop and returns the
+  block's activation-count vector;
+* workers keep a small LRU of materialised blocks, so successive estimates
+  (the greedy loops evaluate thousands) do not re-draw the same worlds —
+  while per-worker memory stays bounded by a few blocks;
+* the parent reduces the per-block count vectors **in block order**.  The
+  counts are integers, so the reduction is exact and the final
+  ``counts @ benefits / num_worlds`` expression — evaluated by the engine,
+  not here — produces a float that is bit-identical to the serial path for
+  any shard size and worker count.
+
+The pool prefers the ``fork`` start method on Linux (cheap start-up, the
+graph is inherited rather than re-imported) and uses the platform default
+everywhere else (``spawn`` on macOS/Windows — fork is unsafe under macOS
+frameworks), where the initializer arguments travel pickled — :class:`~repro.graph.csr.CompiledGraph`
+supports both transports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import weakref
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.engine import BlockCache, WorldSampler, cascade_block
+from repro.exceptions import EstimationError
+
+#: Blocks each worker keeps materialised between tasks.
+_WORKER_CACHE_BLOCKS = 4
+
+#: Per-process worker state, populated by :func:`_init_worker`.
+_WORKER: Optional["_WorkerState"] = None
+
+
+class _WorkerState:
+    """Everything one worker process needs to evaluate shard blocks."""
+
+    def __init__(self, sampler: WorldSampler, cache_blocks: int) -> None:
+        num_nodes = sampler.compiled.num_nodes
+        self.sampler = sampler
+        self.visited: List[int] = [0] * num_nodes
+        self.coupons: List[int] = [0] * num_nodes
+        self.stamp = 0
+        self.cache = BlockCache(sampler, cache_blocks)
+
+
+def _init_worker(sampler: WorldSampler, cache_blocks: int) -> None:
+    global _WORKER
+    _WORKER = _WorkerState(sampler, cache_blocks)
+
+
+def _evaluate_block(
+    task: Tuple[int, int, List[int], List[Tuple[int, int]]]
+) -> np.ndarray:
+    """Evaluate one shard block; returns its activation-count vector."""
+    start, count, seed_indices, coupon_items = task
+    state = _WORKER
+    targets_block, offsets_block = state.cache.block(start, count)
+    coupons = state.coupons
+    for position, coupon_count in coupon_items:
+        coupons[position] = coupon_count
+    # Reserve the block's stamp range up front (mirroring the serial
+    # engine): if cascade_block raises mid-block, the stamps it already
+    # wrote into `visited` must never be reused by a later task in this
+    # worker, or previously-visited nodes would look activated.
+    stamp = state.stamp
+    state.stamp = stamp + count
+    try:
+        flat_activations, _ = cascade_block(
+            targets_block, offsets_block, seed_indices, coupons,
+            state.visited, stamp,
+        )
+    finally:
+        for position, _ in coupon_items:
+            coupons[position] = 0
+    return np.bincount(
+        np.asarray(flat_activations, dtype=np.int64),
+        minlength=state.sampler.compiled.num_nodes,
+    )
+
+
+def _shutdown_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+class ShardExecutor:
+    """Persistent process pool evaluating shard blocks of live-edge worlds.
+
+    Built lazily by :class:`~repro.diffusion.engine.CompiledCascadeEngine` on
+    the first parallel :meth:`run`; reused for every subsequent evaluation
+    until :meth:`close` (a finalizer tears the pool down if the owner is
+    garbage collected first).
+    """
+
+    def __init__(
+        self,
+        sampler: WorldSampler,
+        *,
+        num_worlds: int,
+        shard_size: int,
+        workers: int,
+        start_method: Optional[str] = None,
+        cache_blocks: int = _WORKER_CACHE_BLOCKS,
+    ) -> None:
+        if workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        self._blocks: List[Tuple[int, int]] = [
+            (start, min(shard_size, num_worlds - start))
+            for start in range(0, num_worlds, shard_size)
+        ]
+        self.workers = min(workers, len(self._blocks))
+        self.num_nodes = sampler.compiled.num_nodes
+        if start_method is None:
+            # Prefer the cheap fork start-up only on Linux: macOS offers
+            # fork too, but forking after ObjC-framework initialisation is
+            # unsafe there (the reason CPython switched its default to
+            # spawn), so everywhere else the platform default stands.
+            start_method = "fork" if sys.platform == "linux" else None
+        context = multiprocessing.get_context(start_method)
+        self._pool = context.Pool(
+            self.workers,
+            initializer=_init_worker,
+            initargs=(sampler, cache_blocks),
+        )
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+
+    def run_counts(
+        self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Activation counts over every world, reduced in block order."""
+        if not self._finalizer.alive:
+            raise EstimationError("ShardExecutor is closed")
+        tasks = [
+            (start, count, seed_indices, coupon_items)
+            for start, count in self._blocks
+        ]
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for block_counts in self._pool.map(_evaluate_block, tasks):
+            counts += block_counts
+        return counts
+
+    def close(self) -> None:
+        """Terminate the pool; the executor cannot be used afterwards."""
+        self._finalizer()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

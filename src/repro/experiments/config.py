@@ -51,6 +51,14 @@ class ExperimentConfig:
     #: selected deployments are bit-identical either way; False forces the
     #: eager full-resimulation reference path.
     incremental: bool = True
+    #: Sharded world sampling: evaluate worlds in blocks of this size,
+    #: bounding peak memory to O(shard_size) worlds.  ``None`` keeps every
+    #: world resident.  Estimates are bit-identical for any value.
+    shard_size: Optional[int] = None
+    #: Multiprocess shard executor: ``workers > 1`` evaluates shard blocks on
+    #: a persistent process pool with a deterministic reduction — results are
+    #: bit-identical for every worker count.  ``None``/``1`` stays serial.
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.estimator_method not in ESTIMATOR_METHODS:
@@ -66,6 +74,12 @@ class ExperimentConfig:
             raise ExperimentError(f"repetitions must be > 0, got {self.repetitions}")
         if self.lam <= 0 or self.kappa <= 0:
             raise ExperimentError("lam and kappa must be > 0")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ExperimentError(
+                f"shard_size must be > 0 or None, got {self.shard_size}"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ExperimentError(f"workers must be > 0 or None, got {self.workers}")
 
     def replace(self, **changes) -> "ExperimentConfig":
         """Return a copy with some fields replaced."""

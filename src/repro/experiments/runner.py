@@ -60,6 +60,8 @@ class ExperimentRunner:
             num_samples=self.config.num_samples,
             seed=self.config.seed,
             incremental=self.config.incremental,
+            shard_size=self.config.shard_size,
+            workers=self.config.workers,
         )
 
     # ------------------------------------------------------------------

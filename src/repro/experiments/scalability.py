@@ -79,6 +79,8 @@ def measure_s3ca(
         num_samples=config.num_samples,
         seed=config.seed,
         incremental=config.incremental,
+        shard_size=config.shard_size,
+        workers=config.workers,
     )
     algorithm = S3CA(
         scenario,

@@ -93,6 +93,41 @@ class CompiledGraph:
         self.sc_costs = sc_costs
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the arrays only; ``_index`` is derived and rebuilt on load.
+
+        Compiled graphs are shipped to worker processes by
+        :mod:`repro.diffusion.parallel`, so the payload matters: the index
+        dict roughly doubles it for no information.
+        """
+        return {
+            "node_ids": self.node_ids,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "probs": self.probs,
+            "edge_pos": self.edge_pos,
+            "benefits": self.benefits,
+            "seed_costs": self.seed_costs,
+            "sc_costs": self.sc_costs,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.node_ids = state["node_ids"]
+        self._index = {
+            node: position for position, node in enumerate(self.node_ids)
+        }
+        self.indptr = state["indptr"]
+        self.indices = state["indices"]
+        self.probs = state["probs"]
+        self.edge_pos = state["edge_pos"]
+        self.benefits = state["benefits"]
+        self.seed_costs = state["seed_costs"]
+        self.sc_costs = state["sc_costs"]
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 

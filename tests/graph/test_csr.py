@@ -127,3 +127,49 @@ def test_csr_arrays_are_consistent_on_a_real_topology():
     assert np.all(np.diff(compiled.indptr) >= 0)
     assert np.all((compiled.probs >= 0.0) & (compiled.probs <= 1.0))
     assert np.all((compiled.indices >= 0) & (compiled.indices < compiled.num_nodes))
+
+
+def test_pickle_round_trip_preserves_graph_and_cascades():
+    """A pickled-and-restored CompiledGraph yields identical cascades.
+
+    This is the transport contract of the multiprocess shard executor: the
+    compiled graph travels to worker processes by pickle, so a round-tripped
+    copy must reproduce the index, every CSR array and — run through the
+    cascade engine with the same seed — bit-identical activation counts.
+    """
+    import pickle
+
+    from repro.diffusion.engine import CompiledCascadeEngine
+
+    graph = ppgg_like_graph(
+        num_nodes=60, avg_out_degree=5.0, power_law_exponent=1.7,
+        clustering=0.3, seed=7,
+    )
+    for position, node in enumerate(graph.nodes()):
+        graph.add_node(
+            node, benefit=1.0 + position % 3, seed_cost=2.0, sc_cost=1.0
+        )
+    compiled = CompiledGraph.from_social_graph(graph)
+    restored = pickle.loads(pickle.dumps(compiled))
+
+    assert restored.node_ids == compiled.node_ids
+    assert restored.index == compiled.index
+    for attribute in (
+        "indptr", "indices", "probs", "edge_pos",
+        "benefits", "seed_costs", "sc_costs",
+    ):
+        assert np.array_equal(
+            getattr(restored, attribute), getattr(compiled, attribute)
+        )
+
+    nodes = list(graph.nodes())
+    seeds = nodes[:3]
+    allocation = {node: 2 for node in nodes[:10] if graph.out_degree(node)}
+    counts, benefit = CompiledCascadeEngine(compiled, 25, seed=5).run(
+        seeds, allocation
+    )
+    counts_restored, benefit_restored = CompiledCascadeEngine(
+        restored, 25, seed=5
+    ).run(seeds, allocation)
+    assert (counts == counts_restored).all()
+    assert benefit == benefit_restored

@@ -1,0 +1,125 @@
+"""Property tests: worker count and pool reuse never change any estimate.
+
+The multiprocess shard executor reduces integer per-block activation counts
+in deterministic block order, so for any random graph, deployment and seed
+the parallel estimator must return *exactly* the serial estimator's numbers —
+not approximately.  The pool is persistent, so these properties also cover
+reuse: successive estimates through the same pool must keep matching fresh
+serial estimators.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.investment import InvestmentDeployment
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.economics.scenario import Scenario
+from repro.graph.social_graph import SocialGraph
+
+NUM_SAMPLES = 20
+
+
+@st.composite
+def instance(draw):
+    """Random attributed graph plus a random deployment."""
+    num_nodes = draw(st.integers(min_value=2, max_value=10))
+    nodes = list(range(num_nodes))
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(
+            node,
+            benefit=draw(st.floats(min_value=0.0, max_value=5.0)),
+            sc_cost=1.0,
+            seed_cost=1.0,
+        )
+    possible = [(u, v) for u in nodes for v in nodes if u != v]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible), max_size=min(20, len(possible)), unique=True
+        )
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target, draw(st.floats(min_value=0.0, max_value=1.0)))
+    seeds = draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True))
+    allocation = {}
+    for node in nodes:
+        degree = graph.out_degree(node)
+        if degree:
+            allocation[node] = draw(st.integers(min_value=0, max_value=degree))
+    return graph, seeds, allocation
+
+
+@settings(max_examples=6, deadline=None)
+@given(instance(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_worker_count_never_changes_estimates(data, seed):
+    graph, seeds, allocation = data
+    serial = MonteCarloEstimator(graph, num_samples=NUM_SAMPLES, seed=seed)
+    with MonteCarloEstimator(
+        graph, num_samples=NUM_SAMPLES, seed=seed, shard_size=6, workers=2
+    ) as parallel:
+        assert parallel.workers == 2
+        assert parallel.expected_benefit(seeds, allocation) == (
+            serial.expected_benefit(seeds, allocation)
+        )
+        assert parallel.activation_probabilities(seeds, allocation) == (
+            serial.activation_probabilities(seeds, allocation)
+        )
+
+
+def test_pool_reuse_across_successive_estimates_is_safe(two_hop_path):
+    """One persistent pool, many estimate calls — all bit-identical to serial."""
+    graph = two_hop_path
+    deployments = [
+        (["a"], {}),
+        (["a"], {"a": 1}),
+        (["a"], {"a": 1, "b": 1}),
+        (["b"], {"b": 1}),
+        (["a", "b"], {"a": 1}),
+    ]
+    serial = MonteCarloEstimator(graph, num_samples=50, seed=9)
+    with MonteCarloEstimator(
+        graph, num_samples=50, seed=9, shard_size=8, workers=2
+    ) as parallel:
+        for _ in range(2):  # second sweep: memo cleared, pool re-exercised
+            for seeds, allocation in deployments:
+                assert parallel.expected_benefit(seeds, allocation) == (
+                    serial.expected_benefit(seeds, allocation)
+                )
+            parallel.clear_cache()
+
+
+def test_close_is_idempotent_and_serial_estimators_need_no_pool(two_hop_path):
+    estimator = MonteCarloEstimator(two_hop_path, num_samples=10, seed=1)
+    estimator.close()
+    estimator.close()
+    with MonteCarloEstimator(
+        two_hop_path, num_samples=10, seed=1, workers=2
+    ) as parallel:
+        parallel.expected_benefit(["a"], {"a": 1})
+    parallel.close()  # idempotent after __exit__
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_worker_count_never_changes_selected_deployment(workers):
+    """The ID phase selects the same investments for every worker count."""
+    from repro.experiments.scalability import synthetic_scenario
+
+    scenario = synthetic_scenario(60, budget=40.0, seed=13)
+    def run(worker_count):
+        estimator = MonteCarloEstimator(
+            scenario.graph, num_samples=NUM_SAMPLES, seed=13,
+            shard_size=7, workers=worker_count,
+        )
+        try:
+            return InvestmentDeployment(
+                scenario, estimator, candidate_limit=8, max_pivot_candidates=15
+            ).run()
+        finally:
+            estimator.close()
+
+    serial = run(1)
+    parallel = run(workers)
+    assert parallel.deployment.seeds == serial.deployment.seeds
+    assert parallel.deployment.allocation == serial.deployment.allocation
+    assert parallel.iterations == serial.iterations

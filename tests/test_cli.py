@@ -63,3 +63,28 @@ def test_case_study_command(capsys):
     out = capsys.readouterr().out
     assert "booking" in out
     assert "gross_margin" in out
+
+
+def test_solve_command_scaling_flags_are_deterministic(capsys):
+    """--shard-size / --workers change execution, not the printed result."""
+
+    def stripped(out):
+        # Drop the trailing wall-clock column; everything else must match.
+        return [line.rstrip().rsplit(maxsplit=1)[0]
+                for line in out.strip().splitlines() if line.strip()]
+
+    assert main(["solve", "--dataset", "facebook", *TINY]) == 0
+    serial_out = capsys.readouterr().out
+    assert main([
+        "solve", "--dataset", "facebook", "--shard-size", "4", "--workers", "2",
+        *TINY,
+    ]) == 0
+    parallel_out = capsys.readouterr().out
+    assert stripped(parallel_out) == stripped(serial_out)
+
+
+def test_parser_accepts_scaling_flags():
+    parser = build_parser()
+    args = parser.parse_args(["solve", "--shard-size", "16", "--workers", "4"])
+    assert args.shard_size == 16
+    assert args.workers == 4
