@@ -7,8 +7,15 @@ path.  The incremental path snapshots the base deployment once per step and
 re-simulates only the worlds each candidate's coupon can change, re-deriving
 still-valid candidates from stored count deltas without any simulation.
 
+Since PR 4 the incremental path also *splices* every accepted coupon move's
+re-simulated worlds into the snapshot (``DeltaCascadeEngine.splice_base``)
+instead of re-running the instrumented O(num_samples) pass at the next greedy
+step; this benchmark runs the pre-splice behaviour too (``advance_base``
+disabled) and records both the eliminated snapshot passes and the measured
+splice speedup.
+
 Setup mirrors Fig. 9: PPGG-like synthetic networks with budgets large enough
-to drive a realistic number of greedy iterations.  Both paths must select the
+to drive a realistic number of greedy iterations.  All paths must select the
 **bit-identical** deployment (asserted here); the headline number is the
 wall-clock speedup of ``InvestmentDeployment.run()``.
 
@@ -54,7 +61,7 @@ PIVOT_LIMIT = 150
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_greedy.json"
 
 
-def _run_id_phase(scenario, incremental: bool):
+def _run_id_phase(scenario, incremental: bool, splice: bool = True):
     estimator = make_estimator(
         scenario,
         "mc-compiled",
@@ -69,9 +76,27 @@ def _run_id_phase(scenario, incremental: bool):
         max_pivot_candidates=PIVOT_LIMIT,
         incremental=incremental,
     )
+    if incremental and not splice:
+        # PR 3-era behaviour for comparison: every accepted investment pays a
+        # fresh instrumented re-snapshot pass at the next set_base.
+        phase.marginal.advance_base = lambda evaluation: None
     with Timer() as timer:
         result = phase.run()
-    return result, timer.elapsed
+    return (
+        result,
+        timer.elapsed,
+        estimator.delta_snapshot_passes,
+        estimator.delta_spliced_advances,
+    )
+
+
+def _seed_accepts(result):
+    """Pivot accepts after the first seed (each forces a fresh snapshot)."""
+    return sum(
+        1
+        for before, after in zip(result.snapshots, result.snapshots[1:])
+        if len(after.seeds) > len(before.seeds)
+    )
 
 
 def _append_trajectory(points, aggregate):
@@ -109,15 +134,32 @@ def test_greedy_incremental_speedup(report):
         # Budget ~2x the node count drives tens of greedy iterations, the
         # regime the paper's Fig. 9 scalability runs operate in.
         scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
-        eager_result, eager_seconds = _run_id_phase(scenario, incremental=False)
-        lazy_result, lazy_seconds = _run_id_phase(scenario, incremental=True)
-
-        # The whole point: the fast path returns the *same* deployment.
-        assert eager_result.deployment.seeds == lazy_result.deployment.seeds
-        assert (
-            eager_result.deployment.allocation == lazy_result.deployment.allocation
+        eager_result, eager_seconds, _, _ = _run_id_phase(
+            scenario, incremental=False
         )
-        assert eager_result.iterations == lazy_result.iterations
+        pre_result, pre_seconds, pre_passes, _ = _run_id_phase(
+            scenario, incremental=True, splice=False
+        )
+        lazy_result, lazy_seconds, lazy_passes, lazy_splices = _run_id_phase(
+            scenario, incremental=True
+        )
+
+        # The whole point: the fast paths return the *same* deployment.
+        for other in (pre_result, lazy_result):
+            assert eager_result.deployment.seeds == other.deployment.seeds
+            assert (
+                eager_result.deployment.allocation == other.deployment.allocation
+            )
+            assert eager_result.iterations == other.iterations
+
+        # The splice eliminated the per-coupon-step re-snapshot pass: every
+        # accepted coupon was grafted, and only the (rare) pivot accepts
+        # still trigger an instrumented pass.
+        seed_accepts = _seed_accepts(lazy_result)
+        coupon_accepts = lazy_result.iterations - seed_accepts
+        assert lazy_splices == coupon_accepts
+        assert lazy_passes <= 1 + seed_accepts
+        assert pre_passes >= lazy_passes  # the old path paid at least as many
 
         speedup = eager_seconds / lazy_seconds
         total_eager += eager_seconds
@@ -130,6 +172,11 @@ def test_greedy_incremental_speedup(report):
             "eager_seconds": round(eager_seconds, 4),
             "incremental_seconds": round(lazy_seconds, 4),
             "speedup": round(speedup, 2),
+            "presplice_seconds": round(pre_seconds, 4),
+            "splice_speedup": round(pre_seconds / lazy_seconds, 2),
+            "snapshot_passes_presplice": pre_passes,
+            "snapshot_passes_spliced": lazy_passes,
+            "spliced_advances": lazy_splices,
             "identical_deployment": True,
         }
         points.append(point)

@@ -7,7 +7,13 @@ benchmark measures what those knobs buy on a Fig. 9-style synthetic graph:
 
 * **throughput** — full-pass benefit evaluations per second for the serial
   resident-worlds estimator vs the worker pool (distinct deployments each
-  call, so the memo cache never short-circuits the engine);
+  call, so the memo cache never short-circuits the engine), and for the
+  *pipelined* submission path (several evaluations pending on one shared
+  pool, drained in submission order) vs one-at-a-time submission;
+* **parent idle time** — the fraction of wall-clock the parent spent blocked
+  waiting for the next block completion (the streaming reduction folds each
+  block as it arrives; pipelining fills the remaining waits with other
+  evaluations' folds);
 * **peak memory** — ``tracemalloc`` peak of building the engine and running
   one pass, monolithic vs sharded (the world adjacency lists dominate, so the
   sharded peak should track the shard, not the sample count);
@@ -102,13 +108,45 @@ def _deployments(scenario, count):
 
 
 def _throughput(engine, deployments):
-    """(benefits, evals/sec) for one full-pass evaluation per deployment."""
+    """(benefits, evals/sec, idle_frac) — one evaluation at a time."""
+    executor = engine._ensure_executor() if engine.workers > 1 else None
+    wait_before = executor.wait_seconds_total if executor else 0.0
     with Timer() as timer:
         benefits = [
             engine.expected_benefit(seeds, allocation)
             for seeds, allocation in deployments
         ]
-    return benefits, len(deployments) / timer.elapsed if timer.elapsed else float("inf")
+    rate = len(deployments) / timer.elapsed if timer.elapsed else float("inf")
+    idle = (
+        (executor.wait_seconds_total - wait_before) / timer.elapsed
+        if executor and timer.elapsed
+        else 0.0
+    )
+    return benefits, rate, idle
+
+
+def _pipelined_throughput(engine, deployments, depth):
+    """(benefits, evals/sec, idle_frac) — up to ``depth`` pending at once."""
+    from collections import deque
+
+    executor = engine._ensure_executor()
+    wait_before = executor.wait_seconds_total
+    benefits = []
+    pending = deque()
+    with Timer() as timer:
+        for seeds, allocation in deployments:
+            pending.append(engine.submit(seeds, allocation))
+            if len(pending) >= depth:
+                benefits.append(pending.popleft().result()[1])
+        while pending:
+            benefits.append(pending.popleft().result()[1])
+    rate = len(deployments) / timer.elapsed if timer.elapsed else float("inf")
+    idle = (
+        (executor.wait_seconds_total - wait_before) / timer.elapsed
+        if timer.elapsed
+        else 0.0
+    )
+    return benefits, rate, idle
 
 
 def _peak_memory(compiled, shard_size, deployment):
@@ -153,26 +191,41 @@ def _append_trajectory(points):
 def test_parallel_estimation_throughput_and_memory(report):
     rows = []
     points = []
+    from repro.diffusion.parallel import SharedShardPool
+
     for size in SIZES:
         scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
         compiled = scenario.graph.compiled()
         deployments = _deployments(scenario, NUM_EVALS)
 
         serial = CompiledCascadeEngine(compiled, NUM_SAMPLES, seed=BENCH_SEED)
-        serial_benefits, serial_rate = _throughput(serial, deployments)
+        serial_benefits, serial_rate, _ = _throughput(serial, deployments)
 
-        parallel = CompiledCascadeEngine(
-            compiled, NUM_SAMPLES, seed=BENCH_SEED,
-            shard_size=SHARD_SIZE, workers=WORKERS,
-        )
-        try:
-            parallel.expected_benefit(*deployments[0])  # warm the pool
-            parallel_benefits, parallel_rate = _throughput(parallel, deployments)
-        finally:
-            parallel.close()
+        # Both parallel measurements (sequential and pipelined submission)
+        # register on ONE shared pool — the configuration every layer above
+        # now runs in.
+        with SharedShardPool(WORKERS) as pool:
+            parallel = CompiledCascadeEngine(
+                compiled, NUM_SAMPLES, seed=BENCH_SEED,
+                shard_size=SHARD_SIZE, pool=pool,
+            )
+            try:
+                parallel.expected_benefit(*deployments[0])  # warm the pool
+                parallel_benefits, parallel_rate, seq_idle = _throughput(
+                    parallel, deployments
+                )
+                pipelined_benefits, pipelined_rate, pipe_idle = (
+                    _pipelined_throughput(
+                        parallel, deployments, depth=2 * WORKERS
+                    )
+                )
+            finally:
+                parallel.close()
+            assert not pool.closed  # the engine released only its sampler
 
         # Parity is the contract; speed without it is worthless.
         assert parallel_benefits == serial_benefits
+        assert pipelined_benefits == serial_benefits
 
         mono_peak = _peak_memory(compiled, None, deployments[0])
         shard_peak = _peak_memory(compiled, SHARD_SIZE, deployments[0])
@@ -183,6 +236,10 @@ def test_parallel_estimation_throughput_and_memory(report):
             "serial_evals_per_sec": round(serial_rate, 2),
             "parallel_evals_per_sec": round(parallel_rate, 2),
             "speedup": round(parallel_rate / serial_rate, 2),
+            "pipelined_evals_per_sec": round(pipelined_rate, 2),
+            "pipeline_speedup": round(pipelined_rate / parallel_rate, 2),
+            "parent_idle_frac_sequential": round(seq_idle, 3),
+            "parent_idle_frac_pipelined": round(pipe_idle, 3),
             "monolithic_peak_mb": round(mono_peak / 1e6, 3),
             "sharded_peak_mb": round(shard_peak / 1e6, 3),
             "mem_ratio": round(shard_peak / mono_peak, 3),

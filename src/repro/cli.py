@@ -71,9 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--workers", type=int, default=None,
-            help="evaluate world shards on a process pool of this size "
-                 "(deterministic reduction: results are bit-identical for "
-                 "every worker count; default: serial)",
+            help="evaluate world shards on a persistent process pool of this "
+                 "size, shared across every algorithm and swept condition of "
+                 "the command (streaming block-ordered reduction: results "
+                 "are bit-identical for every worker count; default: serial)",
         )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
@@ -150,7 +151,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
         config.dataset, scale=config.scale, budget=config.budget,
         lam=config.lam, kappa=config.kappa, seed=config.seed,
     )
-    result = S3CA(
+    algorithm = S3CA(
         scenario,
         estimator_method=config.estimator_method,
         num_samples=config.num_samples,
@@ -161,7 +162,15 @@ def cmd_solve(args: argparse.Namespace) -> str:
         incremental=config.incremental,
         shard_size=config.shard_size,
         workers=config.workers,
-    ).solve()
+    )
+    try:
+        result = algorithm.solve()
+    finally:
+        # Release the estimator's worker pool (if --workers started one)
+        # before formatting output, not at interpreter exit.
+        close = getattr(algorithm.estimator, "close", None)
+        if close is not None:
+            close()
     rows = [
         {
             "seeds": len(result.seeds),
@@ -182,9 +191,9 @@ def cmd_compare(args: argparse.Namespace) -> str:
         config.dataset, scale=config.scale, budget=config.budget,
         lam=config.lam, kappa=config.kappa, seed=config.seed,
     )
-    runner = ExperimentRunner(scenario, config)
-    specs = runner.default_algorithms(include_im_s=not args.no_im_s)
-    records = runner.run_all(specs)
+    with ExperimentRunner(scenario, config) as runner:
+        specs = runner.default_algorithms(include_im_s=not args.no_im_s)
+        records = runner.run_all(specs)
     rows = records_to_rows(
         records,
         metrics=[

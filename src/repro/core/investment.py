@@ -230,27 +230,41 @@ class InvestmentDeployment:
         # Singleton evaluations from the empty base have nothing for the
         # delta engine to reuse (every world is fresh), so the pivot queue
         # always prices candidates through the plain estimator path — the
-        # numbers are bit-identical either way.
+        # numbers are bit-identical either way.  The evaluations are
+        # independent, so they go through the estimator's *batch* API: on a
+        # parallel backend the whole queue construction pipelines through
+        # the shared worker pool instead of blocking per candidate.
         empty = Deployment(self.graph, sc_cost_cache=self._sc_cost_cache)
+        entries: List[Tuple[NodeId, float, Optional[float]]] = []
+        batch: List[Tuple[Set, Dict[NodeId, int]]] = []
         for _, node in scored:
             self.explored_nodes.add(node)
             seed_only = empty.with_seed(node)
             seed_cost = seed_only.total_cost()
             if seed_cost > budget:
                 continue
-            benefit = seed_only.expected_benefit(self.estimator)
-            best_rate = benefit / seed_cost if seed_cost > 0 else 0.0
-            best = PivotCandidate(node, 0, best_rate, seed_cost)
-
+            batch.append((seed_only.seeds, seed_only.allocation.as_dict()))
+            coupon_cost: Optional[float] = None
             if self.graph.out_degree(node) > 0:
                 with_coupon = empty.with_seed(node, coupons=1)
                 cost = with_coupon.total_cost()
                 if cost <= budget:
-                    coupon_benefit = with_coupon.expected_benefit(self.estimator)
-                    rate = coupon_benefit / cost if cost > 0 else 0.0
-                    if rate > best_rate:
-                        best = PivotCandidate(node, 1, rate, cost)
+                    coupon_cost = cost
+                    batch.append(
+                        (with_coupon.seeds, with_coupon.allocation.as_dict())
+                    )
+            entries.append((node, seed_cost, coupon_cost))
 
+        benefits = iter(self.estimator.expected_benefits(batch))
+        for node, seed_cost, coupon_cost in entries:
+            benefit = next(benefits)
+            best_rate = benefit / seed_cost if seed_cost > 0 else 0.0
+            best = PivotCandidate(node, 0, best_rate, seed_cost)
+            if coupon_cost is not None:
+                coupon_benefit = next(benefits)
+                rate = coupon_benefit / coupon_cost if coupon_cost > 0 else 0.0
+                if rate > best_rate:
+                    best = PivotCandidate(node, 1, rate, coupon_cost)
             if best.redemption_rate > 0:
                 self._pivot_configs[node] = best
                 queue.push(node, best.redemption_rate)
@@ -327,6 +341,10 @@ class InvestmentDeployment:
             snapshots.append(current.copy())
             iterations += 1
             self._lazy.note_coupon_accept(best_eval)
+            # Splice the accepted move's re-simulated worlds into the delta
+            # snapshot now, so the next iteration's set_base is a no-op
+            # instead of an O(num_samples) instrumented pass.
+            self.marginal.advance_base(best_eval)
 
         best = max(
             snapshots,

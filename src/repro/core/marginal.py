@@ -124,6 +124,32 @@ class MarginalRedemption:
             )
         return base.expected_benefit(self.estimator)
 
+    def advance_base(self, evaluation: "MarginalEvaluation") -> Optional[float]:
+        """Advance the base to an accepted evaluation's resulting deployment.
+
+        After the greedy loop accepts a coupon investment, the evaluation's
+        :class:`DeltaOutcome` already holds the re-simulated worlds of that
+        exact change — so the estimator can *splice* them into its snapshot
+        (:meth:`~repro.diffusion.monte_carlo.MonteCarloEstimator.advance_base`)
+        instead of paying the O(num_samples) instrumented pass the next
+        :meth:`set_base` would otherwise run.  The spliced snapshot is
+        bit-identical to a fresh one.  Returns the new base benefit, or
+        ``None`` when nothing could be advanced (eager path, seed accepts,
+        fallback outcomes) — the next :meth:`set_base` then snapshots as
+        before.
+        """
+        if not self.incremental:
+            return None
+        outcome = evaluation.delta
+        if outcome is None or not outcome.exact or evaluation.action != "coupon":
+            return None
+        return self.estimator.advance_base(
+            outcome,
+            evaluation.node,
+            evaluation.resulting.seeds,
+            evaluation.resulting.allocation.as_dict(),
+        )
+
     def of_new_seed(
         self,
         base: Deployment,

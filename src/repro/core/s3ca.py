@@ -133,6 +133,12 @@ class S3CA:
         bit-identical benefit estimates, so the selected deployment is the
         same for every setting — only speed and memory change.  Ignored when
         a pre-built ``estimator`` is supplied.
+    pool:
+        Optional :class:`~repro.diffusion.parallel.SharedShardPool` the
+        default estimator registers on instead of creating its own — the way
+        an experiment sweep runs many S3CA instances on **one** persistent
+        worker pool.  The pool is never closed by S3CA or its estimator;
+        its owner decides.  Ignored when ``estimator`` is supplied.
     """
 
     def __init__(
@@ -154,12 +160,13 @@ class S3CA:
         rr_prescreen: bool = False,
         shard_size: Optional[int] = None,
         workers: Optional[int] = None,
+        pool=None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.estimator = estimator or make_estimator(
             scenario, estimator_method, num_samples=num_samples, seed=seed,
-            shard_size=shard_size, workers=workers,
+            shard_size=shard_size, workers=workers, pool=pool,
         )
         if isinstance(self.estimator, RRBenefitEstimator):
             warnings.warn(

@@ -42,6 +42,7 @@ queue in :mod:`repro.core.investment`.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -75,6 +76,13 @@ class DeltaOutcome:
         ``False`` when the query did not match the snapshot (different seed
         order, multi-node change, ...) and a full pass was used instead; the
         benefit is still exact, but no delta bookkeeping is available.
+    world_queues / world_limited:
+        Per-dirty-world instrumentation of the re-simulations: the new
+        activation queue and the new coupon-limited list of every
+        re-simulated world (``None`` on fallback).  When the evaluated
+        investment is *accepted*, :meth:`DeltaCascadeEngine.splice_base`
+        grafts these directly into the snapshot instead of re-running a full
+        instrumented pass.
     """
 
     __slots__ = (
@@ -84,6 +92,8 @@ class DeltaOutcome:
         "dirty_worlds",
         "touched",
         "exact",
+        "world_queues",
+        "world_limited",
     )
 
     def __init__(
@@ -94,6 +104,8 @@ class DeltaOutcome:
         dirty_worlds: Optional[Tuple[int, ...]],
         touched: FrozenSet[NodeId],
         exact: bool,
+        world_queues: Optional[Dict[int, List[int]]] = None,
+        world_limited: Optional[Dict[int, List[int]]] = None,
     ) -> None:
         self.benefit = benefit
         self.delta_index = delta_index
@@ -101,6 +113,8 @@ class DeltaOutcome:
         self.dirty_worlds = dirty_worlds
         self.touched = touched
         self.exact = exact
+        self.world_queues = world_queues
+        self.world_limited = world_limited
 
 
 class DeltaCascadeEngine:
@@ -112,15 +126,26 @@ class DeltaCascadeEngine:
         self._base_alloc: Dict[NodeId, int] = {}
         self._base_coupons: List[int] = [0] * engine.compiled.num_nodes
         self._base_queues: List[List[int]] = []
+        self._base_limited: List[List[int]] = []
         self._base_counts: Optional[np.ndarray] = None
         self.base_benefit: float = 0.0
         self._active_worlds: Dict[int, List[int]] = {}
         self._limited_worlds: Dict[int, List[int]] = {}
+        #: Instrumented full passes run by :meth:`snapshot` vs accepted moves
+        #: grafted by :meth:`splice_base` — the benchmark's evidence that the
+        #: per-greedy-step re-snapshot pass is gone.
+        self.snapshot_passes = 0
+        self.spliced_advances = 0
 
     @property
     def has_snapshot(self) -> bool:
         """Whether :meth:`snapshot` has been called at least once."""
         return self._base_counts is not None
+
+    @property
+    def base_counts(self) -> Optional[np.ndarray]:
+        """The base deployment's activation-count vector (read-only use)."""
+        return self._base_counts
 
     # ------------------------------------------------------------------
     # snapshot
@@ -155,6 +180,7 @@ class DeltaCascadeEngine:
         self._base_coupons = coupons
 
         queues: List[List[int]] = []
+        limited_lists: List[List[int]] = []
         active_worlds: Dict[int, List[int]] = {}
         limited_worlds: Dict[int, List[int]] = {}
         flat: List[int] = []
@@ -164,6 +190,7 @@ class DeltaCascadeEngine:
                     world_index, self._base_seed_indices, coupons
                 )
                 queues.append(queue)
+                limited_lists.append(limited)
                 flat.extend(queue)
                 for node_index in queue:
                     active_worlds.setdefault(node_index, []).append(world_index)
@@ -171,6 +198,7 @@ class DeltaCascadeEngine:
                     limited_worlds.setdefault(node_index, []).append(world_index)
         else:
             queues = [[] for _ in range(engine.num_worlds)]
+            limited_lists = [[] for _ in range(engine.num_worlds)]
 
         counts = np.bincount(
             np.asarray(flat, dtype=np.int64), minlength=num_nodes
@@ -181,10 +209,12 @@ class DeltaCascadeEngine:
             else 0.0
         )
         self._base_queues = queues
+        self._base_limited = limited_lists
         self._base_counts = counts
         self.base_benefit = benefit
         self._active_worlds = active_worlds
         self._limited_worlds = limited_worlds
+        self.snapshot_passes += 1
         return counts, benefit
 
     # ------------------------------------------------------------------
@@ -309,6 +339,101 @@ class DeltaCascadeEngine:
         return float(counts @ self.engine.compiled.benefits) / self.engine.num_worlds
 
     # ------------------------------------------------------------------
+    # surgical snapshot advancement
+    # ------------------------------------------------------------------
+
+    def splice_base(
+        self,
+        outcome: DeltaOutcome,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> Optional[float]:
+        """Make an accepted extra-coupon move's deployment the new base.
+
+        ``outcome`` must be the :class:`DeltaOutcome` of evaluating exactly
+        ``(new_seeds, new_allocation)`` against the current base — the greedy
+        loop hands back the evaluation it just accepted.  Instead of running
+        a fresh instrumented pass over every world (O(num_samples) per greedy
+        step), the outcome's already re-simulated worlds are grafted into the
+        snapshot: ``base_queues`` / ``base_limited`` are replaced for the
+        dirty worlds only, the per-node ``active_worlds`` / ``limited_worlds``
+        indices are updated surgically (sorted order preserved, exactly as a
+        fresh ascending world scan would build them), the count vector is
+        advanced by the outcome's sparse delta and the benefit is re-derived
+        with the engine's canonical expression.  The resulting snapshot state
+        is **identical** — queues, indices, counts and benefit, bit for bit —
+        to calling :meth:`snapshot` on the new deployment from scratch.
+
+        A reused (CELF-refreshed) outcome is equally valid: the lazy queue's
+        invalidation rule guarantees its per-world re-simulations still equal
+        what a fresh evaluation would produce, and the dirty-set equality
+        check below re-verifies that against the current snapshot.
+
+        Returns the new base benefit, or ``None`` when the outcome cannot be
+        spliced (fallback outcome, seed change, non-single-increment
+        allocation, stale dirty set) — the caller then falls back to
+        :meth:`snapshot`.
+        """
+        if not self.has_snapshot:
+            return None
+        if not outcome.exact or outcome.world_queues is None:
+            return None
+        compiled = self.engine.compiled
+        new_seed_indices = compiled.indices_of(sorted(new_seeds, key=str))
+        if new_seed_indices != self._base_seed_indices:
+            return None
+        new_alloc = _normalize(new_allocation)
+        if not _single_increase(self._base_alloc, new_alloc, node):
+            return None
+        position = compiled.index.get(node)
+        if position is None:
+            # Unknown coupon holders never reach the cascade: the deployment
+            # bookkeeping moves, the worlds do not.
+            if outcome.dirty_worlds:
+                return None
+            self._base_alloc = new_alloc
+            self.spliced_advances += 1
+            return self.base_benefit
+        # The outcome's dirty set must be exactly what the *current* snapshot
+        # says an extra coupon on ``node`` can change — refuses stale records
+        # the lazy queue's invalidation rule would have rejected.
+        if outcome.dirty_worlds != tuple(self._limited_worlds.get(position, ())):
+            return None
+
+        active_worlds = self._active_worlds
+        limited_worlds = self._limited_worlds
+        base_queues = self._base_queues
+        base_limited = self._base_limited
+        for world_index in outcome.dirty_worlds:
+            new_queue = outcome.world_queues[world_index]
+            new_limited = outcome.world_limited[world_index]
+            old_active = set(base_queues[world_index])
+            new_active = set(new_queue)
+            for node_index in old_active - new_active:
+                _sorted_remove(active_worlds, node_index, world_index)
+            for node_index in new_active - old_active:
+                insort(active_worlds.setdefault(node_index, []), world_index)
+            old_lim = set(base_limited[world_index])
+            new_lim = set(new_limited)
+            for node_index in old_lim - new_lim:
+                _sorted_remove(limited_worlds, node_index, world_index)
+            for node_index in new_lim - old_lim:
+                insort(limited_worlds.setdefault(node_index, []), world_index)
+            base_queues[world_index] = list(new_queue)
+            base_limited[world_index] = list(new_limited)
+
+        if outcome.delta_index is not None and outcome.delta_index.size:
+            self._base_counts[outcome.delta_index] += outcome.delta_values
+        self._base_alloc = new_alloc
+        self._base_coupons[position] = new_alloc[node]
+        self.base_benefit = (
+            float(self._base_counts @ compiled.benefits) / self.engine.num_worlds
+        )
+        self.spliced_advances += 1
+        return self.base_benefit
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
@@ -325,6 +450,8 @@ class DeltaCascadeEngine:
             dirty_worlds=(),
             touched=frozenset(),
             exact=True,
+            world_queues={},
+            world_limited={},
         )
 
     def _splice(
@@ -344,6 +471,8 @@ class DeltaCascadeEngine:
         removed: List[int] = []
         added: List[int] = []
         touched: set = set()
+        world_queues: Dict[int, List[int]] = {}
+        world_limited: Dict[int, List[int]] = {}
         for world_index in dirty:
             queue, limited = engine.cascade_world_instrumented(
                 world_index, seed_indices, coupons
@@ -351,6 +480,8 @@ class DeltaCascadeEngine:
             removed.extend(self._base_queues[world_index])
             added.extend(queue)
             touched.update(limited)
+            world_queues[world_index] = queue
+            world_limited[world_index] = limited
 
         counts = self._base_counts.copy()
         if clean_node is not None and clean_count:
@@ -375,6 +506,8 @@ class DeltaCascadeEngine:
             dirty_worlds=tuple(dirty),
             touched=frozenset(node_ids[i] for i in touched),
             exact=True,
+            world_queues=world_queues,
+            world_limited=world_limited,
         )
 
     def _fallback(
@@ -393,6 +526,22 @@ class DeltaCascadeEngine:
             touched=frozenset(),
             exact=False,
         )
+
+
+def _sorted_remove(
+    mapping: Dict[int, List[int]], key: int, value: int
+) -> None:
+    """Remove ``value`` from the sorted list ``mapping[key]``; drop empty keys."""
+    worlds = mapping[key]
+    index = bisect_left(worlds, value)
+    if index >= len(worlds) or worlds[index] != value:
+        raise EstimationError(
+            f"snapshot splice inconsistency: world {value} not indexed "
+            f"under node {key}"
+        )
+    del worlds[index]
+    if not worlds:
+        del mapping[key]
 
 
 def _normalize(allocation: Mapping[NodeId, int]) -> Dict[NodeId, int]:

@@ -236,13 +236,20 @@ class CompiledCascadeEngine:
     workers:
         ``None``/``1`` evaluates worlds in-process.  ``workers > 1`` spins up
         a persistent process pool (lazily, on the first :meth:`run`) that
-        evaluates shard blocks concurrently with a deterministic reduction —
-        see :mod:`repro.diffusion.parallel`.  When ``shard_size`` is not set
-        explicitly, a default of ``ceil(num_worlds / (4 × workers))`` keeps
-        every worker busy with several blocks.
+        evaluates shard blocks concurrently with a deterministic streaming
+        reduction — see :mod:`repro.diffusion.parallel`.  When ``shard_size``
+        is not set explicitly, a default of ``ceil(num_worlds / (4 ×
+        workers))`` keeps every worker busy with several blocks.
     start_method:
         Optional multiprocessing start method (``"fork"``/``"spawn"``/...);
         default prefers ``fork`` where available.
+    pool:
+        Optional injected :class:`~repro.diffusion.parallel.SharedShardPool`.
+        The engine registers its sampler on the shared pool instead of
+        creating one of its own, inherits the pool's worker count (``workers``
+        is then ignored) and **never closes the injected pool** —
+        :meth:`close` only unregisters the sampler; the pool's owner decides
+        when the workers die.
     """
 
     def __init__(
@@ -254,6 +261,7 @@ class CompiledCascadeEngine:
         shard_size: Optional[int] = None,
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        pool=None,
     ) -> None:
         if num_worlds <= 0:
             raise EstimationError(f"num_worlds must be > 0, got {num_worlds}")
@@ -262,10 +270,14 @@ class CompiledCascadeEngine:
         self.compiled = compiled
         self.num_worlds = int(num_worlds)
 
-        workers = 1 if workers is None else int(workers)
+        if pool is not None:
+            workers = pool.workers
+        else:
+            workers = 1 if workers is None else int(workers)
         if workers < 1:
             raise EstimationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.pool = pool
         self._start_method = start_method
 
         if shard_size is not None:
@@ -441,11 +453,26 @@ class CompiledCascadeEngine:
         snapshot matching — treats deployments with equal seed sets as equal.
         Use :meth:`cascade_world` directly for explicit-order experiments.
         """
+        return self.submit(seeds, allocation).result()
+
+    def submit(
+        self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
+    ) -> "PendingRun":
+        """Start one :meth:`run`-equivalent evaluation; returns its handle.
+
+        With ``workers > 1`` the evaluation's shard blocks are dispatched to
+        the pool and the call returns immediately — several evaluations can
+        be pending at once, pipelining the parent's streaming reductions
+        behind the workers' cascades.  Draining the handles in submission
+        order yields exactly the results sequential :meth:`run` calls would
+        have produced, bit for bit.  On a serial engine the evaluation runs
+        eagerly and the handle is already complete.
+        """
         compiled = self.compiled
         num_nodes = compiled.num_nodes
         seed_indices = compiled.indices_of(sorted(seeds, key=str))
         if not seed_indices:
-            return np.zeros(num_nodes, dtype=np.int64), 0.0
+            return PendingRun(self, result=(np.zeros(num_nodes, dtype=np.int64), 0.0))
 
         index = compiled.index
         coupon_items: List[Tuple[int, int]] = []
@@ -455,12 +482,11 @@ class CompiledCascadeEngine:
                 coupon_items.append((position, int(count)))
 
         if self.workers > 1:
-            counts = self._ensure_executor().run_counts(seed_indices, coupon_items)
-        else:
-            counts = self._run_serial(seed_indices, coupon_items)
-
+            pending = self._ensure_executor().submit(seed_indices, coupon_items)
+            return PendingRun(self, pending=pending)
+        counts = self._run_serial(seed_indices, coupon_items)
         benefit = float(counts @ compiled.benefits) / self.num_worlds
-        return counts, benefit
+        return PendingRun(self, result=(counts, benefit))
 
     def _run_serial(
         self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
@@ -503,11 +529,14 @@ class CompiledCascadeEngine:
                 shard_size=self.shard_size,
                 workers=self.workers,
                 start_method=self._start_method,
+                pool=self.pool,
             )
         return self._executor
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op when none was started)."""
+        """Release the executor: an owned pool shuts down, an injected pool
+        only has this engine's sampler unregistered (no-op when no parallel
+        run ever happened)."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
@@ -537,6 +566,39 @@ class CompiledCascadeEngine:
             for node_index, count in enumerate(counts)
             if count
         }
+
+
+class PendingRun:
+    """Handle to one in-flight (or already complete) engine evaluation.
+
+    :meth:`result` returns exactly what
+    :meth:`CompiledCascadeEngine.run` would have returned for the same
+    inputs — ``(activation_counts, expected_benefit)`` — computing the
+    benefit with the engine's canonical ``counts @ benefits / num_worlds``
+    expression, so pipelined results are bit-identical to sequential ones.
+    """
+
+    __slots__ = ("_engine", "_pending", "_result")
+
+    def __init__(self, engine, pending=None, result=None) -> None:
+        self._engine = engine
+        self._pending = pending
+        self._result = result
+
+    @property
+    def done(self) -> bool:
+        """Whether the result is already available without blocking."""
+        return self._result is not None
+
+    def result(self) -> Tuple[np.ndarray, float]:
+        """Block until the evaluation completes; returns ``(counts, benefit)``."""
+        if self._result is None:
+            counts = self._pending.result()
+            engine = self._engine
+            benefit = float(counts @ engine.compiled.benefits) / engine.num_worlds
+            self._result = (counts, benefit)
+            self._pending = None
+        return self._result
 
 
 def _consume_stream(generator: np.random.Generator, num_draws: int) -> None:

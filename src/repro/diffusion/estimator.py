@@ -29,7 +29,7 @@ layers can depend on the interface without importing any concrete backend.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.graph.social_graph import SocialGraph
 
@@ -54,6 +54,21 @@ class BenefitEstimator(ABC):
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
     ) -> Dict[NodeId, float]:
         """Per-user probability of ending up activated."""
+
+    def expected_benefits(
+        self, deployments: Sequence[Tuple[Iterable[NodeId], Mapping[NodeId, int]]]
+    ) -> List[float]:
+        """Expected benefits of a batch of ``(seeds, allocation)`` deployments.
+
+        The default simply loops :meth:`expected_benefit`; estimators with a
+        parallel backend override this to pipeline the batch through their
+        worker pool — with bit-identical results, so callers may always use
+        the batch form.
+        """
+        return [
+            self.expected_benefit(seeds, allocation)
+            for seeds, allocation in deployments
+        ]
 
     def expected_spread(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]

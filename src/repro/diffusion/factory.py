@@ -42,6 +42,7 @@ def make_estimator(
     incremental: bool = True,
     shard_size: Optional[int] = None,
     workers: Optional[int] = None,
+    pool=None,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -72,6 +73,12 @@ def make_estimator(
         compiled Monte-Carlo backend (ignored by the other methods).  Both
         preserve bit-identical estimates; see
         :mod:`repro.diffusion.parallel`.
+    pool:
+        Optional :class:`~repro.diffusion.parallel.SharedShardPool` shared
+        across estimators (compiled Monte-Carlo backend only).  The estimator
+        registers its worlds on the injected pool instead of creating its
+        own, and never closes it — the pool's owner does.  ``workers`` is
+        ignored when a pool is given (the pool's width wins).
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -88,6 +95,7 @@ def make_estimator(
             incremental=incremental,
             shard_size=shard_size,
             workers=workers,
+            pool=pool,
         )
     if method == "mc":
         return MonteCarloEstimator(

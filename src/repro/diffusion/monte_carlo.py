@@ -43,7 +43,8 @@ never match a re-built deployment against its snapshot.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,10 +97,18 @@ class MonteCarloEstimator(BenefitEstimator):
         dict backend ignores it).
     workers:
         ``workers > 1`` evaluates shard blocks on a persistent process pool
-        (see :mod:`repro.diffusion.parallel`) with a deterministic reduction:
-        estimates are bit-identical for every worker count.  ``None``/``1``
-        evaluates in-process.  Compiled backend only.  Call :meth:`close` (or
-        use the estimator as a context manager) to release the pool.
+        (see :mod:`repro.diffusion.parallel`) with a deterministic streaming
+        reduction: estimates are bit-identical for every worker count.
+        ``None``/``1`` evaluates in-process.  Compiled backend only.  Call
+        :meth:`close` (or use the estimator as a context manager) to release
+        the pool.
+    pool:
+        Optional injected :class:`~repro.diffusion.parallel.SharedShardPool`
+        shared with other estimators.  The estimator registers its worlds on
+        the shared pool, inherits its worker count (``workers`` is then
+        ignored) and **never closes an injected pool** — :meth:`close` only
+        unregisters this estimator's sampler; shutting the pool down is its
+        owner's decision.  Compiled backend only.
     """
 
     def __init__(
@@ -113,6 +122,7 @@ class MonteCarloEstimator(BenefitEstimator):
         incremental: bool = True,
         shard_size: Optional[int] = None,
         workers: Optional[int] = None,
+        pool=None,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -131,7 +141,7 @@ class MonteCarloEstimator(BenefitEstimator):
         if self.backend == "compiled":
             self._engine = CompiledCascadeEngine(
                 graph.compiled(), self.num_samples, seed,
-                shard_size=shard_size, workers=workers,
+                shard_size=shard_size, workers=workers, pool=pool,
             )
             if incremental:
                 self._delta = DeltaCascadeEngine(self._engine)
@@ -140,6 +150,11 @@ class MonteCarloEstimator(BenefitEstimator):
         self.incremental = self._delta is not None
         self.shard_size = self._engine.shard_size if self._engine is not None else None
         self.workers = self._engine.workers if self._engine is not None else 1
+        self.pool = self._engine.pool if self._engine is not None else None
+        #: In-flight evaluations a batch keeps pending before draining the
+        #: oldest — wide enough to keep every worker busy, narrow enough to
+        #: bound the parent's result buffering.
+        self.pipeline_depth = max(2, 2 * self.workers)
         self._benefit_cache: Dict[DeploymentKey, float] = {}
         self._probability_cache: Dict[DeploymentKey, Dict[NodeId, float]] = {}
         self.evaluations = 0
@@ -160,6 +175,60 @@ class MonteCarloEstimator(BenefitEstimator):
             benefit = self._evaluate_benefit(seeds, allocation)
             self._remember(self._benefit_cache, key, benefit)
         return benefit
+
+    def expected_benefits(
+        self, deployments: Sequence[Tuple[Iterable[NodeId], Mapping[NodeId, int]]]
+    ) -> List[float]:
+        """Expected benefits of a batch of deployments, pipelined.
+
+        Returns exactly what calling :meth:`expected_benefit` per deployment
+        would return — same numbers, same memoisation — but on a parallel
+        compiled engine the uncached evaluations are *submitted* ahead of
+        being drained (up to :attr:`pipeline_depth` in flight), so the
+        parent's streaming reductions overlap the workers' cascades instead
+        of alternating with them.
+        """
+        deployments = [
+            (_canonical_seeds(seeds), allocation) for seeds, allocation in deployments
+        ]
+        if self._engine is None:
+            return [
+                self.expected_benefit(seeds, allocation)
+                for seeds, allocation in deployments
+            ]
+        results: List[Optional[float]] = [None] * len(deployments)
+        in_flight: "OrderedDict[DeploymentKey, Tuple[object, List[int]]]" = (
+            OrderedDict()
+        )
+
+        def drain_oldest() -> None:
+            key, (run, indices) = next(iter(in_flight.items()))
+            del in_flight[key]
+            counts, benefit = run.result()
+            self._remember(self._benefit_cache, key, benefit)
+            self._remember(
+                self._probability_cache, key, self._counts_to_probabilities(counts)
+            )
+            self.evaluations += 1
+            for position in indices:
+                results[position] = benefit
+
+        for position, (seeds, allocation) in enumerate(deployments):
+            key = self._key(seeds, allocation)
+            cached = self._benefit_cache.get(key)
+            if cached is not None:
+                results[position] = cached
+                continue
+            entry = in_flight.get(key)
+            if entry is not None:
+                entry[1].append(position)
+                continue
+            in_flight[key] = (self._engine.submit(seeds, allocation), [position])
+            if len(in_flight) >= self.pipeline_depth:
+                drain_oldest()
+        while in_flight:
+            drain_oldest()
+        return results
 
     def activation_probabilities(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
@@ -219,6 +288,16 @@ class MonteCarloEstimator(BenefitEstimator):
         """Whether the delta-evaluation engine is available."""
         return self._delta is not None
 
+    @property
+    def delta_snapshot_passes(self) -> int:
+        """Instrumented full passes the delta engine has run (0 without one)."""
+        return self._delta.snapshot_passes if self._delta is not None else 0
+
+    @property
+    def delta_spliced_advances(self) -> int:
+        """Accepted moves spliced into the snapshot without a full pass."""
+        return self._delta.spliced_advances if self._delta is not None else 0
+
     def snapshot_base(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
     ) -> float:
@@ -242,6 +321,42 @@ class MonteCarloEstimator(BenefitEstimator):
             self._probability_cache, key, self._counts_to_probabilities(counts)
         )
         self.evaluations += 1
+        return benefit
+
+    def advance_base(
+        self,
+        outcome: DeltaOutcome,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> float:
+        """Advance the delta base to an accepted move's resulting deployment.
+
+        ``outcome`` must be the accepted move's own :class:`DeltaOutcome`
+        (evaluated for exactly ``(new_seeds, new_allocation)`` against the
+        current base).  Its already re-simulated worlds are spliced into the
+        snapshot surgically — no instrumented full pass — leaving the engine
+        in a state identical to :meth:`snapshot_base` on the new deployment.
+        Falls back to :meth:`snapshot_base` when the outcome cannot be
+        spliced (fallback outcome, seed change, stale record).  Returns the
+        new base benefit either way; the benefit and the base's activation
+        probabilities are memoised exactly as a fresh snapshot would.
+        """
+        delta = self._require_delta()
+        new_seeds = _canonical_seeds(new_seeds)
+        key = self._key(new_seeds, new_allocation)
+        if key == self._delta_base_key and delta.has_snapshot:
+            return delta.base_benefit
+        benefit = delta.splice_base(outcome, node, new_seeds, new_allocation)
+        if benefit is None:
+            return self.snapshot_base(new_seeds, new_allocation)
+        self._delta_base_key = key
+        self._remember(self._benefit_cache, key, benefit)
+        self._remember(
+            self._probability_cache,
+            key,
+            self._counts_to_probabilities(delta.base_counts),
+        )
         return benefit
 
     def delta_extra_coupon(

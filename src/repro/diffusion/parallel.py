@@ -1,56 +1,103 @@
-"""Multiprocess shard evaluation for the compiled cascade engine.
+"""Multiprocess shard evaluation with streaming reduction and pool sharing.
 
 The per-world cascades of a Monte-Carlo estimate are embarrassingly parallel:
 every world is an independent deterministic cascade and the estimate is a sum
-of integer activation counts.  :class:`ShardExecutor` exploits that with a
-*persistent* process pool:
+of integer activation counts.  Two classes exploit that:
 
-* each worker receives the pickled :class:`~repro.diffusion.engine.WorldSampler`
-  (frozen RNG state + the compiled CSR graph) **once**, at pool start-up —
-  per-evaluation tasks only carry the seed indices and the sparse coupon
-  vector;
-* a task is one shard block ``(start, count)``: the worker regenerates the
-  block's worlds locally by skipping the shared RNG stream to
-  ``start × num_edges`` (bit-identical to the serial draw), runs the shared
-  :func:`~repro.diffusion.engine.cascade_block` inner loop and returns the
-  block's activation-count vector;
-* workers keep a small LRU of materialised blocks, so successive estimates
-  (the greedy loops evaluate thousands) do not re-draw the same worlds —
-  while per-worker memory stays bounded by a few blocks;
-* the parent reduces the per-block count vectors **in block order**.  The
-  counts are integers, so the reduction is exact and the final
-  ``counts @ benefits / num_worlds`` expression — evaluated by the engine,
-  not here — produces a float that is bit-identical to the serial path for
-  any shard size and worker count.
+:class:`SharedShardPool`
+    A persistent process pool that can serve **many** estimators.  Each
+    :class:`~repro.diffusion.engine.WorldSampler` (frozen RNG state + compiled
+    CSR graph) is *registered* once: a barrier-synchronised broadcast ships it
+    to every worker exactly once, after which per-evaluation tasks carry only
+    a small token, the block bounds, the seed indices and the sparse coupon
+    vector.  The pool is injectable through every layer
+    (``make_estimator(..., pool=...)``), so an experiment sweep spanning
+    several scenarios and algorithms runs on **one** pool instead of paying a
+    pool start-up per estimator.
+
+:class:`ShardExecutor`
+    One estimator's view onto a pool (owned or injected).  An evaluation is
+    *submitted*: its shard blocks are tagged with their block index and
+    dispatched through ``imap_unordered``, and the returned
+    :class:`PendingCounts` handle folds the per-block activation-count
+    vectors into a running total **in block order** as they arrive (buffering
+    out-of-order completions), so the parent overlaps its reduction with the
+    workers' computation instead of idling in a blocking ``pool.map``.
+    Several evaluations can be pending on the same pool at once — submitting
+    a batch and draining it in submission order pipelines the parent's
+    reductions behind the workers' cascades.
+
+Determinism
+-----------
+The per-block counts are integers and the running reduction folds them in
+block order whatever order they complete in, so the final count vector — and
+the ``counts @ benefits / num_worlds`` benefit derived from it by the engine —
+is bit-identical to the serial path for any shard size, worker count,
+completion order and pipelining depth.
+
+Ownership
+---------
+An executor built *without* an injected pool creates one and owns it:
+:meth:`ShardExecutor.close` tears the pool down.  An executor built *on* an
+injected pool never closes it — closing the executor (or the estimator above
+it) merely unregisters its sampler; the pool keeps serving other estimators
+until its owner calls :meth:`SharedShardPool.close` (or the ``with`` block
+exits).  Every pool also carries a :func:`weakref.finalize` guard — Python
+runs outstanding finalizers at interpreter exit, so a pool whose owner forgot
+to close it is reclaimed at exit instead of leaking worker processes.
 
 The pool prefers the ``fork`` start method on Linux (cheap start-up, the
 graph is inherited rather than re-imported) and uses the platform default
 everywhere else (``spawn`` on macOS/Windows — fork is unsafe under macOS
-frameworks), where the initializer arguments travel pickled — :class:`~repro.graph.csr.CompiledGraph`
-supports both transports.
+frameworks), where the broadcast arguments travel pickled —
+:class:`~repro.graph.csr.CompiledGraph` supports both transports.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import sys
+import time
 import weakref
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.diffusion.engine import BlockCache, WorldSampler, cascade_block
 from repro.exceptions import EstimationError
 
-#: Blocks each worker keeps materialised between tasks.
+#: Blocks each worker keeps materialised between tasks (per registered sampler).
 _WORKER_CACHE_BLOCKS = 4
 
-#: Per-process worker state, populated by :func:`_init_worker`.
-_WORKER: Optional["_WorkerState"] = None
+#: Seconds a worker waits at the registration barrier before giving up; only
+#: reached when a sibling worker died mid-broadcast.
+_BARRIER_TIMEOUT = 120.0
+
+#: One evaluation task: (sampler token, block index, start, count, seeds,
+#: sparse coupon items).
+Task = Tuple[int, int, int, int, List[int], List[Tuple[int, int]]]
+
+#: Per-process worker state, keyed by sampler token.
+_WORKER_STATES: Dict[int, "_WorkerState"] = {}
+_WORKER_BARRIER = None
+
+#: Live-object registries backing the leak assertions of the soak tests.
+_LIVE_POOLS: "weakref.WeakSet[SharedShardPool]" = weakref.WeakSet()
+_LIVE_EXECUTORS: "weakref.WeakSet[ShardExecutor]" = weakref.WeakSet()
+
+
+def live_pool_count() -> int:
+    """Number of :class:`SharedShardPool` instances not yet closed."""
+    return sum(1 for pool in _LIVE_POOLS if not pool.closed)
+
+
+def live_executor_count() -> int:
+    """Number of :class:`ShardExecutor` instances not yet closed."""
+    return sum(1 for executor in _LIVE_EXECUTORS if not executor.closed)
 
 
 class _WorkerState:
-    """Everything one worker process needs to evaluate shard blocks."""
+    """Everything one worker process needs to evaluate one sampler's blocks."""
 
     def __init__(self, sampler: WorldSampler, cache_blocks: int) -> None:
         num_nodes = sampler.compiled.num_nodes
@@ -61,17 +108,36 @@ class _WorkerState:
         self.cache = BlockCache(sampler, cache_blocks)
 
 
-def _init_worker(sampler: WorldSampler, cache_blocks: int) -> None:
-    global _WORKER
-    _WORKER = _WorkerState(sampler, cache_blocks)
+def _init_worker(barrier) -> None:
+    global _WORKER_BARRIER, _WORKER_STATES
+    _WORKER_BARRIER = barrier
+    _WORKER_STATES = {}
 
 
-def _evaluate_block(
-    task: Tuple[int, int, List[int], List[Tuple[int, int]]]
-) -> np.ndarray:
-    """Evaluate one shard block; returns its activation-count vector."""
-    start, count, seed_indices, coupon_items = task
-    state = _WORKER
+def _install_sampler(args: Tuple[int, WorldSampler, int]) -> int:
+    """Store a sampler in this worker; the barrier forces one task per worker."""
+    token, sampler, cache_blocks = args
+    _WORKER_STATES[token] = _WorkerState(sampler, cache_blocks)
+    _WORKER_BARRIER.wait(timeout=_BARRIER_TIMEOUT)
+    return token
+
+
+def _uninstall_sampler(token: int) -> int:
+    _WORKER_STATES.pop(token, None)
+    _WORKER_BARRIER.wait(timeout=_BARRIER_TIMEOUT)
+    return token
+
+
+def evaluate_block_in_state(
+    state: _WorkerState, task: Task
+) -> Tuple[int, np.ndarray]:
+    """Evaluate one shard block against a worker state.
+
+    Returns ``(block_index, activation_counts)``.  This is the single
+    evaluation routine shared by the real pool workers and the in-process
+    fake pools the property tests inject, so the two paths cannot drift.
+    """
+    _, block_index, start, count, seed_indices, coupon_items = task
     targets_block, offsets_block = state.cache.block(start, count)
     coupons = state.coupons
     for position, coupon_count in coupon_items:
@@ -90,10 +156,15 @@ def _evaluate_block(
     finally:
         for position, _ in coupon_items:
             coupons[position] = 0
-    return np.bincount(
+    counts = np.bincount(
         np.asarray(flat_activations, dtype=np.int64),
         minlength=state.sampler.compiled.num_nodes,
     )
+    return block_index, counts
+
+
+def _evaluate_block(task: Task) -> Tuple[int, np.ndarray]:
+    return evaluate_block_in_state(_WORKER_STATES[task[0]], task)
 
 
 def _shutdown_pool(pool) -> None:
@@ -101,13 +172,196 @@ def _shutdown_pool(pool) -> None:
     pool.join()
 
 
+class SharedShardPool:
+    """A persistent worker pool shared by any number of estimators.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Fixed for the pool's lifetime; executors built on an
+        injected pool inherit it.
+    start_method:
+        Optional multiprocessing start method; default prefers ``fork`` on
+        Linux and the platform default elsewhere.
+    cache_blocks:
+        Shard blocks each worker keeps materialised per registered sampler.
+
+    The pool is a context manager; it is also guarded by a
+    :func:`weakref.finalize` that terminates the workers when the pool is
+    garbage collected or the interpreter exits, so a leaked pool cannot keep
+    worker processes alive past program end.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        cache_blocks: int = _WORKER_CACHE_BLOCKS,
+    ) -> None:
+        if workers < 1:
+            raise EstimationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache_blocks = cache_blocks
+        if start_method is None:
+            # Prefer the cheap fork start-up only on Linux: macOS offers
+            # fork too, but forking after ObjC-framework initialisation is
+            # unsafe there (the reason CPython switched its default to
+            # spawn), so everywhere else the platform default stands.
+            start_method = "fork" if sys.platform == "linux" else None
+        context = multiprocessing.get_context(start_method)
+        self._barrier = context.Barrier(self.workers)
+        self._pool = context.Pool(
+            self.workers, initializer=_init_worker, initargs=(self._barrier,)
+        )
+        # token -> sampler: the strong reference keeps id() keys stable.
+        self._samplers: Dict[int, WorldSampler] = {}
+        self._token_by_id: Dict[int, int] = {}
+        self._next_token = 0
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        _LIVE_POOLS.add(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been shut down."""
+        return not self._finalizer.alive
+
+    def register(self, sampler: WorldSampler) -> int:
+        """Ship ``sampler`` to every worker once; returns its task token.
+
+        Registering the same sampler object again is a cheap no-op returning
+        the existing token.  The broadcast submits exactly ``workers`` tasks
+        (``chunksize=1``) whose handler blocks on a barrier until all of them
+        have started, which forces one task onto each worker — the only way
+        to address every worker of a :class:`multiprocessing.pool.Pool`.
+        """
+        self._require_open()
+        token = self._token_by_id.get(id(sampler))
+        if token is not None:
+            return token
+        token = self._next_token
+        self._next_token += 1
+        self._pool.map(
+            _install_sampler,
+            [(token, sampler, self.cache_blocks)] * self.workers,
+            chunksize=1,
+        )
+        self._samplers[token] = sampler
+        self._token_by_id[id(sampler)] = token
+        return token
+
+    def release(self, token: int) -> None:
+        """Drop a registered sampler from every worker (frees its block LRU)."""
+        if self.closed:
+            return
+        sampler = self._samplers.pop(token, None)
+        if sampler is None:
+            return
+        self._token_by_id.pop(id(sampler), None)
+        self._pool.map(_uninstall_sampler, [token] * self.workers, chunksize=1)
+
+    def imap_unordered(
+        self, tasks: Iterable[Task]
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Dispatch evaluation tasks; yields ``(block_index, counts)`` as done."""
+        self._require_open()
+        return self._pool.imap_unordered(_evaluate_block, tasks, chunksize=1)
+
+    def close(self) -> None:
+        """Terminate the workers; idempotent."""
+        self._finalizer()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise EstimationError("SharedShardPool is closed")
+
+    def __enter__(self) -> "SharedShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PendingCounts:
+    """Handle to one in-flight evaluation's streaming reduction.
+
+    Results are folded into the running total **in block order**: a block
+    completing early is buffered until every earlier block has been folded.
+    ``wait_seconds`` accumulates the time the parent spent blocked waiting
+    for the next completion — the parent's idle time, which pipelining
+    several pending evaluations is designed to fill.
+    """
+
+    __slots__ = (
+        "_iterator", "_remaining", "_buffer", "_next_block", "_counts",
+        "_owner", "_reported", "wait_seconds",
+    )
+
+    def __init__(
+        self,
+        iterator: Iterator[Tuple[int, np.ndarray]],
+        num_blocks: int,
+        num_nodes: int,
+        owner: Optional["ShardExecutor"] = None,
+    ) -> None:
+        self._iterator = iterator
+        self._remaining = num_blocks
+        self._buffer: Dict[int, np.ndarray] = {}
+        self._next_block = 0
+        self._counts = np.zeros(num_nodes, dtype=np.int64)
+        self._owner = owner
+        self._reported = False
+        self.wait_seconds = 0.0
+
+    @property
+    def done(self) -> bool:
+        """Whether every block has been received and folded."""
+        return self._remaining == 0
+
+    def result(self) -> np.ndarray:
+        """Drain the remaining blocks and return the total count vector."""
+        buffer = self._buffer
+        while self._remaining:
+            began = time.perf_counter()
+            try:
+                block_index, block_counts = next(self._iterator)
+            except StopIteration:
+                # The pool was torn down (owner close / finalizer) with this
+                # evaluation still in flight; surface the module's error
+                # contract instead of a bare StopIteration → RuntimeError.
+                raise EstimationError(
+                    f"worker pool closed with {self._remaining} shard "
+                    f"block(s) outstanding"
+                ) from None
+            self.wait_seconds += time.perf_counter() - began
+            self._remaining -= 1
+            buffer[block_index] = block_counts
+            while self._next_block in buffer:
+                self._counts += buffer.pop(self._next_block)
+                self._next_block += 1
+        if self._buffer:
+            raise EstimationError(
+                f"shard reduction is missing blocks before "
+                f"{min(self._buffer)} (got {sorted(self._buffer)})"
+            )
+        if self._owner is not None and not self._reported:
+            self._reported = True
+            self._owner.completed += 1
+            self._owner.wait_seconds_total += self.wait_seconds
+        return self._counts
+
+
 class ShardExecutor:
-    """Persistent process pool evaluating shard blocks of live-edge worlds.
+    """One sampler's evaluation front-end onto a (shared or owned) pool.
 
     Built lazily by :class:`~repro.diffusion.engine.CompiledCascadeEngine` on
-    the first parallel :meth:`run`; reused for every subsequent evaluation
-    until :meth:`close` (a finalizer tears the pool down if the owner is
-    garbage collected first).
+    the first parallel run.  With ``pool=None`` the executor creates a
+    :class:`SharedShardPool` of its own and :meth:`close` tears it down; with
+    an injected pool the executor only registers its sampler and :meth:`close`
+    merely unregisters it — **an executor never closes a pool it does not
+    own**.
     """
 
     def __init__(
@@ -116,50 +370,78 @@ class ShardExecutor:
         *,
         num_worlds: int,
         shard_size: int,
-        workers: int,
+        workers: Optional[int] = None,
         start_method: Optional[str] = None,
         cache_blocks: int = _WORKER_CACHE_BLOCKS,
+        pool: Optional[SharedShardPool] = None,
     ) -> None:
-        if workers < 1:
-            raise EstimationError(f"workers must be >= 1, got {workers}")
         self._blocks: List[Tuple[int, int]] = [
             (start, min(shard_size, num_worlds - start))
             for start in range(0, num_worlds, shard_size)
         ]
-        self.workers = min(workers, len(self._blocks))
+        if pool is None:
+            if workers is None:
+                raise EstimationError("either workers or pool is required")
+            pool = SharedShardPool(
+                min(int(workers), len(self._blocks)),
+                start_method=start_method,
+                cache_blocks=cache_blocks,
+            )
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self.pool = pool
+        self.workers = pool.workers
         self.num_nodes = sampler.compiled.num_nodes
-        if start_method is None:
-            # Prefer the cheap fork start-up only on Linux: macOS offers
-            # fork too, but forking after ObjC-framework initialisation is
-            # unsafe there (the reason CPython switched its default to
-            # spawn), so everywhere else the platform default stands.
-            start_method = "fork" if sys.platform == "linux" else None
-        context = multiprocessing.get_context(start_method)
-        self._pool = context.Pool(
-            self.workers,
-            initializer=_init_worker,
-            initargs=(sampler, cache_blocks),
-        )
-        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        self._token = pool.register(sampler)
+        self._closed = False
+        #: Completed evaluations and the parent's cumulative blocked time,
+        #: reported by the PendingCounts handles (benchmark instrumentation).
+        self.completed = 0
+        self.wait_seconds_total = 0.0
+        _LIVE_EXECUTORS.add(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def submit(
+        self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
+    ) -> PendingCounts:
+        """Dispatch one evaluation; returns its streaming-reduction handle.
+
+        Several submissions may be pending at once: their tasks interleave on
+        the pool and each handle drains only its own results, so a caller can
+        pipeline a batch by submitting all of it before draining in
+        submission order.
+        """
+        if self._closed:
+            raise EstimationError("ShardExecutor is closed")
+        tasks: List[Task] = [
+            (self._token, block_index, start, count, seed_indices, coupon_items)
+            for block_index, (start, count) in enumerate(self._blocks)
+        ]
+        iterator = self.pool.imap_unordered(tasks)
+        return PendingCounts(iterator, len(tasks), self.num_nodes, owner=self)
 
     def run_counts(
         self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
     ) -> np.ndarray:
         """Activation counts over every world, reduced in block order."""
-        if not self._finalizer.alive:
-            raise EstimationError("ShardExecutor is closed")
-        tasks = [
-            (start, count, seed_indices, coupon_items)
-            for start, count in self._blocks
-        ]
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        for block_counts in self._pool.map(_evaluate_block, tasks):
-            counts += block_counts
-        return counts
+        return self.submit(seed_indices, coupon_items).result()
 
     def close(self) -> None:
-        """Terminate the pool; the executor cannot be used afterwards."""
-        self._finalizer()
+        """Release the executor: owned pools shut down, injected pools stay."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self.pool.close()
+        else:
+            self.pool.release(self._token)
 
     def __enter__(self) -> "ShardExecutor":
         return self

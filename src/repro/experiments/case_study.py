@@ -25,7 +25,7 @@ from repro.economics.adoption import AdoptionModel
 from repro.economics.scenario import Scenario, ScenarioBuilder
 from repro.experiments.config import AlgorithmSpec, ExperimentConfig
 from repro.experiments.datasets import dataset_graph
-from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.runner import ExperimentRunner, RunRecord, shared_pool_for
 
 
 @dataclass(frozen=True)
@@ -91,27 +91,36 @@ def run_case_study(
     algorithms: Optional[List[AlgorithmSpec]] = None,
     include_im_s: bool = False,
 ) -> Dict[float, List[RunRecord]]:
-    """Run the comparison for every gross margin of one policy (Fig. 8)."""
+    """Run the comparison for every gross margin of one policy (Fig. 8).
+
+    With ``config.workers > 1`` all margins share one worker pool, created
+    here for the duration of the study.
+    """
     config = config or ExperimentConfig()
     results: Dict[float, List[RunRecord]] = {}
-    for gross_margin in gross_margins:
-        scenario = case_study_scenario(
-            policy,
-            gross_margin,
-            dataset=config.dataset,
-            scale=config.scale,
-            budget=config.budget,
-            kappa=config.kappa,
-            seed=config.seed,
-        )
-        swept = config.replace(limited_coupons=policy.coupons_per_user)
-        runner = ExperimentRunner(scenario, swept)
-        specs = (
-            algorithms
-            if algorithms is not None
-            else runner.default_algorithms(include_im_s)
-        )
-        results[float(gross_margin)] = runner.run_all(specs)
+    pool = shared_pool_for(config)
+    try:
+        for gross_margin in gross_margins:
+            scenario = case_study_scenario(
+                policy,
+                gross_margin,
+                dataset=config.dataset,
+                scale=config.scale,
+                budget=config.budget,
+                kappa=config.kappa,
+                seed=config.seed,
+            )
+            swept = config.replace(limited_coupons=policy.coupons_per_user)
+            with ExperimentRunner(scenario, swept, pool=pool) as runner:
+                specs = (
+                    algorithms
+                    if algorithms is not None
+                    else runner.default_algorithms(include_im_s)
+                )
+                results[float(gross_margin)] = runner.run_all(specs)
+    finally:
+        if pool is not None:
+            pool.close()
     return results
 
 

@@ -56,8 +56,12 @@ class ExperimentConfig:
     #: world resident.  Estimates are bit-identical for any value.
     shard_size: Optional[int] = None
     #: Multiprocess shard executor: ``workers > 1`` evaluates shard blocks on
-    #: a persistent process pool with a deterministic reduction — results are
-    #: bit-identical for every worker count.  ``None``/``1`` stays serial.
+    #: a persistent process pool with a deterministic streaming reduction —
+    #: results are bit-identical for every worker count.  The runner and the
+    #: sweep harnesses share **one** pool of this width across every
+    #: algorithm, estimator and swept condition (see
+    #: :class:`repro.diffusion.parallel.SharedShardPool`).  ``None``/``1``
+    #: stays serial.
     workers: Optional[int] = None
 
     def __post_init__(self) -> None:

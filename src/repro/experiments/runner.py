@@ -27,6 +27,21 @@ from repro.utils.timer import Timer
 NodeId = Hashable
 
 
+def shared_pool_for(config: ExperimentConfig):
+    """A :class:`SharedShardPool` for ``config``, or ``None`` when pointless.
+
+    A pool only helps the compiled Monte-Carlo backend — the other estimator
+    methods ignore it, so spinning up worker processes for them would leak
+    idle children for the duration of a sweep.  The caller owns the returned
+    pool and must close it.
+    """
+    if (config.workers or 1) > 1 and config.estimator_method == "mc-compiled":
+        from repro.diffusion.parallel import SharedShardPool
+
+        return SharedShardPool(config.workers)
+    return None
+
+
 @dataclass
 class RunRecord:
     """One algorithm's measured outcome on one scenario."""
@@ -43,7 +58,17 @@ class RunRecord:
 
 
 class ExperimentRunner:
-    """Runs a list of algorithms on one scenario with a shared estimator."""
+    """Runs a list of algorithms on one scenario with a shared estimator.
+
+    Every algorithm is priced by **one** estimator (same live-edge worlds, so
+    comparisons are noise-free), and with ``config.workers > 1`` that
+    estimator runs on **one** persistent worker pool: either the injected
+    ``pool`` (shared across runners — how the sweep harnesses amortise pool
+    start-up over a whole parameter sweep) or a pool the runner creates and
+    owns.  :meth:`close` releases the estimator and shuts down only a
+    runner-owned pool — injected pools belong to their creator.  The runner
+    is also a context manager.
+    """
 
     def __init__(
         self,
@@ -51,18 +76,41 @@ class ExperimentRunner:
         config: Optional[ExperimentConfig] = None,
         *,
         estimator: Optional[BenefitEstimator] = None,
+        pool=None,
     ) -> None:
         self.scenario = scenario
         self.config = config or ExperimentConfig()
-        self.estimator = estimator or make_estimator(
-            scenario,
-            self.config.estimator_method,
-            num_samples=self.config.num_samples,
-            seed=self.config.seed,
-            incremental=self.config.incremental,
-            shard_size=self.config.shard_size,
-            workers=self.config.workers,
-        )
+        self.pool = pool
+        self._owns_pool = False
+        if estimator is None:
+            if pool is None:
+                self.pool = pool = shared_pool_for(self.config)
+                self._owns_pool = pool is not None
+            estimator = make_estimator(
+                scenario,
+                self.config.estimator_method,
+                num_samples=self.config.num_samples,
+                seed=self.config.seed,
+                incremental=self.config.incremental,
+                shard_size=self.config.shard_size,
+                workers=self.config.workers,
+                pool=pool,
+            )
+        self.estimator = estimator
+
+    def close(self) -> None:
+        """Release the estimator; shut down the pool only if this runner owns it."""
+        close = getattr(self.estimator, "close", None)
+        if close is not None:
+            close()
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 

@@ -69,9 +69,20 @@ def synthetic_scenario(
 
 
 def measure_s3ca(
-    scenario: Scenario, config: Optional[ExperimentConfig] = None
+    scenario: Scenario,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    pool=None,
 ) -> ScalabilityPoint:
-    """Run S3CA once on ``scenario`` and record the Fig. 9 metrics."""
+    """Run S3CA once on ``scenario`` and record the Fig. 9 metrics.
+
+    ``pool`` optionally injects a shared
+    :class:`~repro.diffusion.parallel.SharedShardPool`: the sweep drivers
+    below create one pool for the whole sweep, so every measured point reuses
+    the same worker processes instead of paying a pool start-up each.  The
+    estimator is released after the measurement either way; an injected pool
+    is never closed here.
+    """
     config = config or ExperimentConfig()
     estimator = make_estimator(
         scenario,
@@ -81,16 +92,22 @@ def measure_s3ca(
         incremental=config.incremental,
         shard_size=config.shard_size,
         workers=config.workers,
+        pool=pool,
     )
-    algorithm = S3CA(
-        scenario,
-        estimator=estimator,
-        candidate_limit=config.candidate_limit,
-        max_pivot_candidates=config.max_pivot_candidates,
-        incremental=config.incremental,
-    )
-    with Timer() as timer:
-        result = algorithm.solve()
+    try:
+        algorithm = S3CA(
+            scenario,
+            estimator=estimator,
+            candidate_limit=config.candidate_limit,
+            max_pivot_candidates=config.max_pivot_candidates,
+            incremental=config.incremental,
+        )
+        with Timer() as timer:
+            result = algorithm.solve()
+    finally:
+        close = getattr(estimator, "close", None)
+        if close is not None:
+            close()
     return ScalabilityPoint(
         num_nodes=scenario.num_nodes,
         num_edges=scenario.num_edges,
@@ -99,6 +116,13 @@ def measure_s3ca(
         explored_ratio=explored_ratio(result.explored_nodes, scenario.graph),
         redemption_rate=result.redemption_rate,
     )
+
+
+def _sweep_pool(config: ExperimentConfig):
+    """One shared worker pool for a whole sweep (None when it cannot help)."""
+    from repro.experiments.runner import shared_pool_for
+
+    return shared_pool_for(config)
 
 
 def sweep_network_size(
@@ -110,11 +134,16 @@ def sweep_network_size(
     """Fig. 9(a)-(b): fixed budget, growing network."""
     config = config or ExperimentConfig()
     points = []
-    for size in sizes:
-        scenario = synthetic_scenario(
-            size, budget=budget, seed=config.seed, **scenario_kwargs
-        )
-        points.append(measure_s3ca(scenario, config))
+    pool = _sweep_pool(config)
+    try:
+        for size in sizes:
+            scenario = synthetic_scenario(
+                size, budget=budget, seed=config.seed, **scenario_kwargs
+            )
+            points.append(measure_s3ca(scenario, config, pool=pool))
+    finally:
+        if pool is not None:
+            pool.close()
     return points
 
 
@@ -127,11 +156,16 @@ def sweep_scalability_budget(
     """Fig. 9(c)-(d): fixed network, growing budget."""
     config = config or ExperimentConfig()
     points = []
-    for budget in budgets:
-        scenario = synthetic_scenario(
-            num_nodes, budget=budget, seed=config.seed, **scenario_kwargs
-        )
-        points.append(measure_s3ca(scenario, config))
+    pool = _sweep_pool(config)
+    try:
+        for budget in budgets:
+            scenario = synthetic_scenario(
+                num_nodes, budget=budget, seed=config.seed, **scenario_kwargs
+            )
+            points.append(measure_s3ca(scenario, config, pool=pool))
+    finally:
+        if pool is not None:
+            pool.close()
     return points
 
 

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.config import AlgorithmSpec, ExperimentConfig
 from repro.experiments.datasets import build_scenario
-from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.runner import ExperimentRunner, RunRecord, shared_pool_for
 
 Series = Dict[str, Dict[float, float]]
 
@@ -89,9 +89,13 @@ def run_comparison(
         kappa=config.kappa,
         seed=config.seed,
     )
-    runner = ExperimentRunner(scenario, config)
-    specs = algorithms if algorithms is not None else runner.default_algorithms(include_im_s)
-    return runner.run_all(specs)
+    with ExperimentRunner(scenario, config) as runner:
+        specs = (
+            algorithms
+            if algorithms is not None
+            else runner.default_algorithms(include_im_s)
+        )
+        return runner.run_all(specs)
 
 
 # ----------------------------------------------------------------------
@@ -106,26 +110,36 @@ def _sweep(
     algorithms: Optional[List[AlgorithmSpec]],
     include_im_s: bool,
 ) -> Dict[str, Series]:
-    """Shared sweep implementation returning ``{metric: {algorithm: {x: y}}}``."""
+    """Shared sweep implementation returning ``{metric: {algorithm: {x: y}}}``.
+
+    With ``config.workers > 1`` every swept condition's runner registers on
+    **one** shared worker pool created here for the whole sweep, instead of
+    paying a process-pool start-up per condition.
+    """
     results: Dict[str, Series] = {metric: {} for metric in metrics}
-    for value in values:
-        swept = config.replace(**{parameter: value})
-        scenario = build_scenario(
-            swept.dataset,
-            scale=swept.scale,
-            budget=swept.budget,
-            lam=swept.lam,
-            kappa=swept.kappa,
-            seed=swept.seed,
-        )
-        runner = ExperimentRunner(scenario, swept)
-        specs = (
-            algorithms
-            if algorithms is not None
-            else runner.default_algorithms(include_im_s)
-        )
-        for record in runner.run_all(specs):
-            for metric in metrics:
-                series = results[metric].setdefault(record.algorithm, {})
-                series[float(value)] = record.get(metric)
+    pool = shared_pool_for(config)
+    try:
+        for value in values:
+            swept = config.replace(**{parameter: value})
+            scenario = build_scenario(
+                swept.dataset,
+                scale=swept.scale,
+                budget=swept.budget,
+                lam=swept.lam,
+                kappa=swept.kappa,
+                seed=swept.seed,
+            )
+            with ExperimentRunner(scenario, swept, pool=pool) as runner:
+                specs = (
+                    algorithms
+                    if algorithms is not None
+                    else runner.default_algorithms(include_im_s)
+                )
+                for record in runner.run_all(specs):
+                    for metric in metrics:
+                        series = results[metric].setdefault(record.algorithm, {})
+                        series[float(value)] = record.get(metric)
+    finally:
+        if pool is not None:
+            pool.close()
     return results

@@ -34,6 +34,41 @@ def test_adoption_damps_probabilities():
         assert probability <= 1.0 / raw.graph.in_degree(target) + 1e-12
 
 
+def test_case_study_fixed_seed_is_bit_deterministic():
+    """Golden-style lockdown of the Fig. 8 harness on a tiny fixed-seed run.
+
+    Timing aside, two identical invocations must produce identical records —
+    scenario economics, adoption damping, greedy decisions and metrics are
+    all seeded.
+    """
+    config = ExperimentConfig(
+        dataset="facebook", scale=0.1, num_samples=15, seed=5,
+        candidate_limit=3, max_pivot_candidates=6,
+    )
+    algorithms = [
+        AlgorithmSpec(
+            "S3CA",
+            lambda scenario, estimator, seed: S3CA(
+                scenario, estimator=estimator, candidate_limit=3,
+                max_pivot_candidates=6, max_paths_per_seed=10,
+            ),
+        )
+    ]
+    runs = [
+        run_case_study(AIRBNB, [0.5], config, algorithms=algorithms)
+        for _ in range(2)
+    ]
+    stable_metrics = (
+        "redemption_rate", "expected_benefit", "total_cost", "seed_sc_rate",
+        "explored_nodes",
+    )
+    for first, second in zip(runs[0][0.5], runs[1][0.5]):
+        assert first.algorithm == second.algorithm
+        assert first.scenario == second.scenario == "airbnb-gm0.5"
+        for metric in stable_metrics:
+            assert first.get(metric) == second.get(metric), metric
+
+
 def test_run_case_study_and_series_shape():
     config = ExperimentConfig(
         dataset="facebook", scale=0.1, num_samples=20, seed=3,

@@ -59,6 +59,46 @@ def test_to_csv_round_trip():
     assert to_csv([]) == ""
 
 
+def test_format_table_golden():
+    """Golden rendering: layout changes must be deliberate."""
+    rows = [
+        {"algorithm": "S3CA", "rate": 1.5, "explored": 12, "ok": True},
+        {"algorithm": "IM-U", "rate": 0.25, "explored": 3, "ok": False},
+    ]
+    golden = (
+        "Fig. G\n"
+        "algorithm  rate   explored  ok   \n"
+        "---------  -----  --------  -----\n"
+        "S3CA       1.500  12        True \n"
+        "IM-U       0.250  3         False"
+    )
+    assert format_table(rows, title="Fig. G") == golden
+
+
+def test_format_series_golden():
+    series = {"S3CA": {40.0: 1.5, 80.0: 1.25}, "IM-U": {40.0: 0.5}}
+    golden = (
+        "Golden\n"
+        "budget  S3CA   IM-U \n"
+        "------  -----  -----\n"
+        "40.000  1.500  0.500\n"
+        "80.000  1.250       "
+    )
+    assert format_series(series, x_label="budget", title="Golden") == golden
+
+
+def test_to_csv_golden():
+    rows = [
+        {"algorithm": "S3CA", "rate": 1.5, "explored": 12, "ok": True},
+        {"algorithm": "IM-U", "rate": 0.25, "explored": 3, "ok": False},
+    ]
+    assert to_csv(rows) == (
+        "algorithm,rate,explored,ok\r\n"
+        "S3CA,1.5,12,True\r\n"
+        "IM-U,0.25,3,False\r\n"
+    )
+
+
 def test_records_to_rows():
     records = [
         RunRecord(algorithm="S3CA", scenario="toy", metrics={"rate": 1.0, "x": 2.0}),

@@ -71,6 +71,47 @@ def test_shared_estimator_across_algorithms(runner):
     )
 
 
+def test_runner_owns_its_pool_and_closes_it(tiny_config):
+    """workers>1 with no injected pool: the runner creates, shares, closes."""
+    import multiprocessing
+
+    baseline = len(multiprocessing.active_children())
+    with ExperimentRunner(
+        toy_scenario(), tiny_config.replace(workers=2, shard_size=10)
+    ) as runner:
+        assert runner.pool is not None and not runner.pool.closed
+        spec = AlgorithmSpec(
+            "IM-U",
+            lambda scenario, estimator, seed: make_im_u(
+                scenario, estimator=estimator
+            ),
+        )
+        parallel_record = runner.run_spec(spec)
+    assert runner.pool.closed
+    assert len(multiprocessing.active_children()) == baseline
+
+    with ExperimentRunner(toy_scenario(), tiny_config) as serial_runner:
+        assert serial_runner.pool is None
+        serial_record = serial_runner.run_spec(spec)
+    assert parallel_record.get("expected_benefit") == (
+        serial_record.get("expected_benefit")
+    )
+
+
+def test_runner_never_closes_an_injected_pool(tiny_config):
+    from repro.diffusion.parallel import SharedShardPool
+
+    with SharedShardPool(2) as pool:
+        with ExperimentRunner(
+            toy_scenario(), tiny_config.replace(workers=2, shard_size=10),
+            pool=pool,
+        ) as runner:
+            assert runner.pool is pool
+            runner.estimator.expected_benefit(["v1"], {})
+        assert not pool.closed  # runner released only its estimator
+    assert pool.closed
+
+
 def test_record_get_default():
     record = RunRecord(algorithm="x", scenario="y", metrics={"a": 1.0})
     assert record.get("a") == 1.0

@@ -69,6 +69,33 @@ def test_sweep_kappa_contains_all_values(tiny_config, s3ca_only):
     assert set(results["seed_sc_rate"]["S3CA"]) == set(kappas)
 
 
+def test_sweep_budget_fixed_seed_is_bit_deterministic(tiny_config, s3ca_only):
+    """Golden-style lockdown: the same config reproduces the same numbers.
+
+    The whole pipeline — scenario build, world draws, greedy decisions — is
+    seeded, so two sweeps must agree float for float, and the rendered series
+    table (what the benchmark harness writes to disk) must be byte-identical.
+    """
+    from repro.experiments.reporting import format_series
+
+    budgets = [40.0, 80.0]
+    first = sweep_budget(
+        tiny_config, budgets, metrics=("redemption_rate", "expected_benefit"),
+        algorithms=s3ca_only,
+    )
+    second = sweep_budget(
+        tiny_config, budgets, metrics=("redemption_rate", "expected_benefit"),
+        algorithms=s3ca_only,
+    )
+    assert first == second
+    assert format_series(first["redemption_rate"], x_label="budget") == (
+        format_series(second["redemption_rate"], x_label="budget")
+    )
+    # Sanity on the values themselves: finite, non-negative redemption rates.
+    for value in first["redemption_rate"]["S3CA"].values():
+        assert value >= 0.0 and value == value
+
+
 def test_run_comparison_produces_all_algorithms(tiny_config):
     records = run_comparison(tiny_config, include_im_s=False)
     names = {record.algorithm for record in records}

@@ -1,0 +1,180 @@
+"""Property tests: a spliced snapshot is *identical* to a fresh one.
+
+:meth:`DeltaCascadeEngine.splice_base` grafts an accepted move's re-simulated
+worlds into the existing snapshot instead of re-running the instrumented full
+pass.  The contract is not "equivalent" but **identical**: after any sequence
+of accepted single-coupon investments — interleaved with rejected candidate
+evaluations, exactly like a greedy trace — every piece of the engine's
+snapshot state (count vector, per-world queues, per-world limited lists, the
+per-node active/limited world indices and the base benefit) must equal, bit
+for bit and element for element, what a from-scratch
+:meth:`DeltaCascadeEngine.snapshot` of the same deployment produces.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.diffusion.delta import DeltaCascadeEngine
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+from repro.graph.social_graph import SocialGraph
+
+NUM_WORLDS = 16
+
+
+@st.composite
+def instance(draw):
+    """Random attributed graph plus a random base deployment."""
+    num_nodes = draw(st.integers(min_value=2, max_value=9))
+    nodes = list(range(num_nodes))
+    graph = SocialGraph()
+    for node in nodes:
+        graph.add_node(
+            node,
+            benefit=draw(st.floats(min_value=0.0, max_value=5.0)),
+            sc_cost=1.0,
+            seed_cost=1.0,
+        )
+    possible = [(u, v) for u in nodes for v in nodes if u != v]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible), max_size=min(18, len(possible)), unique=True
+        )
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target, draw(st.floats(min_value=0.1, max_value=1.0)))
+    seeds = draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=3, unique=True))
+    allocation = {}
+    for node in nodes:
+        if graph.out_degree(node) and draw(st.booleans()):
+            allocation[node] = draw(st.integers(min_value=1, max_value=2))
+    return graph, seeds, allocation
+
+
+def _assert_snapshot_state_identical(spliced: DeltaCascadeEngine, fresh: DeltaCascadeEngine):
+    np.testing.assert_array_equal(spliced.base_counts, fresh.base_counts)
+    assert spliced.base_benefit == fresh.base_benefit
+    assert spliced._base_queues == fresh._base_queues
+    assert spliced._base_limited == fresh._base_limited
+    assert spliced._active_worlds == fresh._active_worlds
+    assert spliced._limited_worlds == fresh._limited_worlds
+    assert spliced._base_alloc == fresh._base_alloc
+    assert spliced._base_coupons == fresh._base_coupons
+    assert spliced._base_seed_indices == fresh._base_seed_indices
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    instance(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.booleans(),
+    st.data(),
+)
+def test_spliced_snapshot_identical_to_fresh_after_every_accept(
+    data_instance, seed, sharded, data
+):
+    graph, seeds, allocation = data_instance
+    engine = CompiledCascadeEngine(
+        graph.compiled(), NUM_WORLDS, seed=seed,
+        shard_size=5 if sharded else None,
+    )
+    delta = DeltaCascadeEngine(engine)
+    delta.snapshot(seeds, allocation)
+    nodes = list(graph.nodes())
+    alloc = {node: count for node, count in allocation.items() if count > 0}
+
+    steps = data.draw(st.integers(min_value=1, max_value=4))
+    for _ in range(steps):
+        # A few *rejected* candidate evaluations first, as in a greedy
+        # iteration — they must leave the snapshot untouched.
+        for _ in range(data.draw(st.integers(min_value=0, max_value=2))):
+            probe = data.draw(st.sampled_from(nodes))
+            probe_alloc = dict(alloc)
+            probe_alloc[probe] = probe_alloc.get(probe, 0) + 1
+            delta.eval_extra_coupon(probe, seeds, probe_alloc)
+
+        node = data.draw(st.sampled_from(nodes))
+        new_alloc = dict(alloc)
+        new_alloc[node] = new_alloc.get(node, 0) + 1
+        outcome = delta.eval_extra_coupon(node, seeds, new_alloc)
+        assert outcome.exact
+
+        benefit = delta.splice_base(outcome, node, seeds, new_alloc)
+        assert benefit is not None
+        alloc = new_alloc
+
+        fresh = DeltaCascadeEngine(engine)
+        _, fresh_benefit = fresh.snapshot(seeds, alloc)
+        assert benefit == fresh_benefit
+        _assert_snapshot_state_identical(delta, fresh)
+    # The whole trace ran on exactly one instrumented pass.
+    assert delta.snapshot_passes == 1
+    assert delta.spliced_advances == steps
+
+
+@settings(max_examples=10, deadline=None)
+@given(instance(), st.integers(min_value=0, max_value=2**31 - 1), st.data())
+def test_estimator_advance_base_matches_fresh_snapshot_base(
+    data_instance, seed, data
+):
+    """The estimator-level splice produces the same base benefit and memo
+    state a fresh ``snapshot_base`` would."""
+    graph, seeds, allocation = data_instance
+    spliced = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=seed)
+    reference = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=seed)
+
+    spliced.snapshot_base(seeds, allocation)
+    alloc = {node: count for node, count in allocation.items() if count > 0}
+    nodes = list(graph.nodes())
+    for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+        node = data.draw(st.sampled_from(nodes))
+        new_alloc = dict(alloc)
+        new_alloc[node] = new_alloc.get(node, 0) + 1
+        outcome = spliced.delta_extra_coupon(seeds, alloc, node, seeds, new_alloc)
+        benefit = spliced.advance_base(outcome, node, seeds, new_alloc)
+        alloc = new_alloc
+
+        assert benefit == reference.snapshot_base(seeds, alloc)
+        assert spliced.expected_benefit(seeds, alloc) == (
+            reference.expected_benefit(seeds, alloc)
+        )
+        assert spliced.activation_probabilities(seeds, alloc) == (
+            reference.activation_probabilities(seeds, alloc)
+        )
+        # Follow-up delta queries run against the spliced base must match
+        # ones against the freshly snapshotted base.
+        probe = data.draw(st.sampled_from(nodes))
+        assert spliced.coupon_dirty_worlds(probe) == (
+            reference.coupon_dirty_worlds(probe)
+        )
+        probe_alloc = dict(alloc)
+        probe_alloc[probe] = probe_alloc.get(probe, 0) + 1
+        probed = spliced.delta_extra_coupon(seeds, alloc, probe, seeds, probe_alloc)
+        probed_ref = reference.delta_extra_coupon(
+            seeds, alloc, probe, seeds, probe_alloc
+        )
+        assert probed.benefit == probed_ref.benefit
+        assert probed.dirty_worlds == probed_ref.dirty_worlds
+        assert probed.touched == probed_ref.touched
+
+
+def test_splice_base_refuses_mismatched_deployments(two_hop_path):
+    """Seed changes and non-single increments fall back (return None)."""
+    engine = CompiledCascadeEngine(two_hop_path.compiled(), 12, seed=5)
+    delta = DeltaCascadeEngine(engine)
+    delta.snapshot(["a"], {"a": 1})
+    outcome = delta.eval_extra_coupon("b", ["a"], {"a": 1, "b": 1})
+
+    # different seed set
+    assert delta.splice_base(outcome, "b", ["a", "b"], {"a": 1, "b": 1}) is None
+    # allocation that is not base + one increment on the node
+    assert delta.splice_base(outcome, "b", ["a"], {"a": 2, "b": 1}) is None
+    # fallback outcomes carry no per-world data
+    fallback = delta.eval_extra_coupon("b", ["b"], {"a": 1, "b": 1})
+    assert not fallback.exact
+    assert delta.splice_base(fallback, "b", ["b"], {"a": 1, "b": 1}) is None
+    # the refusals must not have corrupted the snapshot
+    fresh = DeltaCascadeEngine(engine)
+    fresh.snapshot(["a"], {"a": 1})
+    _assert_snapshot_state_identical(delta, fresh)
