@@ -10,9 +10,16 @@ still-valid candidates from stored count deltas without any simulation.
 Since PR 4 the incremental path also *splices* every accepted coupon move's
 re-simulated worlds into the snapshot (``DeltaCascadeEngine.splice_base``)
 instead of re-running the instrumented O(num_samples) pass at the next greedy
-step; this benchmark runs the pre-splice behaviour too (``advance_base``
-disabled) and records both the eliminated snapshot passes and the measured
-splice speedup.
+step, and since PR 5 accepted *pivots* (seed adds) are spliced the same way
+(``DeltaCascadeEngine.splice_base_new_seed``), so a full run pays exactly
+**one** instrumented pass — the initial snapshot.  This benchmark runs the
+historical behaviours too (all splices disabled = PR 3; coupon splice only =
+PR 4) and records the eliminated snapshot passes, the coupon-splice speedup
+and the seed-splice speedup separately.
+
+The benchmark also runs the full three-phase ``S3CA.solve()`` per size and
+records the per-phase wall-clock split (ID / GPI / SCM) plus the end-to-end
+``snapshot_passes == 1`` evidence in ``BENCH_greedy.json``.
 
 Setup mirrors Fig. 9: PPGG-like synthetic networks with budgets large enough
 to drive a realistic number of greedy iterations.  All paths must select the
@@ -45,6 +52,7 @@ import pytest
 
 from benchmarks.conftest import BENCH_SEED
 from repro.core.investment import InvestmentDeployment
+from repro.core.s3ca import S3CA
 from repro.diffusion.factory import make_estimator
 from repro.experiments.reporting import format_table
 from repro.experiments.scalability import synthetic_scenario
@@ -61,7 +69,14 @@ PIVOT_LIMIT = 150
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_greedy.json"
 
 
-def _run_id_phase(scenario, incremental: bool, splice: bool = True):
+def _run_id_phase(scenario, incremental: bool, splice: str = "full"):
+    """Run the ID phase; ``splice`` selects the snapshot-advance era.
+
+    ``"none"`` disables every splice (PR 3: each accept re-snapshots),
+    ``"coupon"`` keeps only the coupon splice (PR 4: pivot accepts still
+    re-snapshot), ``"full"`` is the current behaviour (seed accepts splice
+    too — exactly one instrumented pass per run).
+    """
     estimator = make_estimator(
         scenario,
         "mc-compiled",
@@ -76,10 +91,10 @@ def _run_id_phase(scenario, incremental: bool, splice: bool = True):
         max_pivot_candidates=PIVOT_LIMIT,
         incremental=incremental,
     )
-    if incremental and not splice:
-        # PR 3-era behaviour for comparison: every accepted investment pays a
-        # fresh instrumented re-snapshot pass at the next set_base.
+    if incremental and splice == "none":
         phase.marginal.advance_base = lambda evaluation: None
+    if incremental and splice in ("none", "coupon"):
+        phase.marginal.advance_base_seed = lambda resulting, node: None
     with Timer() as timer:
         result = phase.run()
     return (
@@ -87,6 +102,7 @@ def _run_id_phase(scenario, incremental: bool, splice: bool = True):
         timer.elapsed,
         estimator.delta_snapshot_passes,
         estimator.delta_spliced_advances,
+        estimator.delta_spliced_seed_advances,
     )
 
 
@@ -134,32 +150,38 @@ def test_greedy_incremental_speedup(report):
         # Budget ~2x the node count drives tens of greedy iterations, the
         # regime the paper's Fig. 9 scalability runs operate in.
         scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
-        eager_result, eager_seconds, _, _ = _run_id_phase(
+        eager_result, eager_seconds, _, _, _ = _run_id_phase(
             scenario, incremental=False
         )
-        pre_result, pre_seconds, pre_passes, _ = _run_id_phase(
-            scenario, incremental=True, splice=False
+        pre_result, pre_seconds, pre_passes, _, _ = _run_id_phase(
+            scenario, incremental=True, splice="none"
         )
-        lazy_result, lazy_seconds, lazy_passes, lazy_splices = _run_id_phase(
-            scenario, incremental=True
+        coupon_result, coupon_seconds, coupon_passes, _, _ = _run_id_phase(
+            scenario, incremental=True, splice="coupon"
+        )
+        lazy_result, lazy_seconds, lazy_passes, lazy_splices, lazy_seed_splices = (
+            _run_id_phase(scenario, incremental=True)
         )
 
         # The whole point: the fast paths return the *same* deployment.
-        for other in (pre_result, lazy_result):
+        for other in (pre_result, coupon_result, lazy_result):
             assert eager_result.deployment.seeds == other.deployment.seeds
             assert (
                 eager_result.deployment.allocation == other.deployment.allocation
             )
             assert eager_result.iterations == other.iterations
 
-        # The splice eliminated the per-coupon-step re-snapshot pass: every
-        # accepted coupon was grafted, and only the (rare) pivot accepts
-        # still trigger an instrumented pass.
+        # The splices eliminated every per-accept re-snapshot pass: each
+        # accepted coupon and each accepted pivot was grafted, leaving
+        # exactly the initial instrumented pass.
         seed_accepts = _seed_accepts(lazy_result)
         coupon_accepts = lazy_result.iterations - seed_accepts
         assert lazy_splices == coupon_accepts
-        assert lazy_passes <= 1 + seed_accepts
-        assert pre_passes >= lazy_passes  # the old path paid at least as many
+        assert lazy_seed_splices == seed_accepts
+        assert lazy_passes == 1
+        # PR 4 behaviour: every pivot accept still paid a fresh pass.
+        assert coupon_passes == 1 + seed_accepts
+        assert pre_passes >= coupon_passes >= lazy_passes
 
         speedup = eager_seconds / lazy_seconds
         total_eager += eager_seconds
@@ -174,13 +196,35 @@ def test_greedy_incremental_speedup(report):
             "speedup": round(speedup, 2),
             "presplice_seconds": round(pre_seconds, 4),
             "splice_speedup": round(pre_seconds / lazy_seconds, 2),
+            "couponsplice_seconds": round(coupon_seconds, 4),
+            "seed_splice_speedup": round(coupon_seconds / lazy_seconds, 2),
             "snapshot_passes_presplice": pre_passes,
+            "snapshot_passes_couponsplice": coupon_passes,
             "snapshot_passes_spliced": lazy_passes,
             "spliced_advances": lazy_splices,
+            "spliced_seed_advances": lazy_seed_splices,
             "identical_deployment": True,
         }
+        rows.append(dict(point))  # printed table: scalar columns only
+
+        # Full three-phase solve on the same instance: record the ID/GPI/SCM
+        # wall-clock split and the end-to-end one-snapshot-pass evidence.
+        estimator = make_estimator(
+            scenario, "mc-compiled", num_samples=NUM_SAMPLES, seed=BENCH_SEED
+        )
+        s3ca_result = S3CA(
+            scenario,
+            estimator=estimator,
+            candidate_limit=CANDIDATE_LIMIT,
+            max_pivot_candidates=PIVOT_LIMIT,
+        ).solve()
+        assert estimator.delta_snapshot_passes == 1
+        point["phase_seconds"] = {
+            phase: round(seconds, 4)
+            for phase, seconds in s3ca_result.phase_seconds.items()
+        }
+        point["snapshot_passes_full_solve"] = estimator.delta_snapshot_passes
         points.append(point)
-        rows.append(point)
 
     aggregate = total_eager / total_incremental
     rows.append(

@@ -4,13 +4,20 @@ Both S3CA (wrapped by the experiment runner) and the baselines return an
 :class:`AlgorithmResult` so the metrics layer can treat them uniformly: it only
 needs the final deployment and, for the running-time figures, how long the
 algorithm took.
+
+Baselines price candidate deployments through the estimator's batched
+evaluation scheduler (:meth:`BaselineAlgorithm.batch_benefits` /
+:meth:`~repro.diffusion.estimator.BenefitEstimator.expected_spreads`) rather
+than one :meth:`expected_benefit` call at a time, so on a parallel estimator
+their greedy rounds pipeline through the shared shard pool exactly like
+S3CA's phases — with bit-identical selections either way.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.deployment import Deployment
 from repro.diffusion.estimator import BenefitEstimator
@@ -105,6 +112,19 @@ class BaselineAlgorithm(ABC):
     @abstractmethod
     def select(self) -> Deployment:
         """Choose the seed set and coupon allocation."""
+
+    def batch_benefits(
+        self,
+        deployments: Sequence[Tuple[Iterable[NodeId], Mapping[NodeId, int]]],
+    ) -> List[float]:
+        """Expected benefits of a batch of ``(seeds, allocation)`` pairs.
+
+        One batch through the estimator's scheduler: pipelined on a parallel
+        backend, a plain loop otherwise — the values are exactly what
+        per-pair ``expected_benefit`` calls would return, so greedy
+        comparisons built on them are bit-identical.
+        """
+        return self.estimator.expected_benefits(deployments)
 
     def run(self) -> AlgorithmResult:
         """Run the baseline and price its deployment."""

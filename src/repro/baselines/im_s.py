@@ -7,6 +7,13 @@ are short — and distributes social coupons uniformly to the users on those
 paths until the total of seed cost and SC cost meets the investment budget.
 The paper uses IM-S to show that naively gluing SC allocation onto IM wastes
 budget on the connecting paths and misses benefits outside them.
+
+All of IM-S's benefit evaluations happen inside stage one, which runs through
+the shared :class:`~repro.baselines.influence_max.GreedyInfluenceMaximization`
+selector — whose singleton-spread pass goes through the estimator's batched
+evaluation scheduler (``expected_spreads``), pipelined on a parallel backend.
+Stage two is pure graph/cost work and submits no evaluations at all; the
+final deployment is priced once by the shared :meth:`run`.
 """
 
 from __future__ import annotations
@@ -49,6 +56,9 @@ class IMShortestPath(BaselineAlgorithm):
 
     def select(self) -> Deployment:
         budget = self.scenario.budget_limit
+        # Stage 1 ranking: the selector batches its singleton-spread pass
+        # through the estimator's scheduler; sharing `self.estimator` means
+        # IM-S and a sibling IM baseline also share every memoised result.
         ranking = self.selector.ranked_seeds(self.max_seeds)
 
         # Stage 1: admit seeds in greedy order while their cost fits half the

@@ -52,9 +52,17 @@ class GreedyInfluenceMaximization(BaselineAlgorithm):
         heap: IndexedMaxHeap = IndexedMaxHeap()
         base_spread = 0.0
         selected: List[NodeId] = []
-        # Initial marginal gains: spread of each singleton seed.
-        for node in self.graph.nodes():
-            heap.push(node, self.spread([node]))
+        # Initial marginal gains: spread of each singleton seed.  This is the
+        # one pass that evaluates every node, so it runs through the
+        # estimator's batch API (one pipelined pass per uncached singleton on
+        # a parallel backend); the CELF re-evaluations below are inherently
+        # sequential — each depends on the previous pop — and stay single.
+        nodes = list(self.graph.nodes())
+        spreads = self.estimator.expected_spreads(
+            [([node], self._saturated) for node in nodes]
+        )
+        for node, spread in zip(nodes, spreads):
+            heap.push(node, spread)
 
         last_evaluated: Dict[NodeId, int] = {node: 0 for node in self.graph.nodes()}
 

@@ -40,7 +40,15 @@ class GreedyProfitMaximization(BaselineAlgorithm):
         return self.benefit(seeds) - sum(self.graph.seed_cost(s) for s in seeds)
 
     def ranked_seeds(self, limit: Optional[int] = None) -> List[NodeId]:
-        """Greedy order by marginal profit, stopping when it turns non-positive."""
+        """Greedy order by marginal profit, stopping when it turns non-positive.
+
+        Each greedy round compares every remaining candidate against the same
+        selected set, so the round's cached-saturation evaluations go through
+        the estimator's batch API in one evaluation plan (pipelined on a
+        parallel backend) instead of one blocking ``expected_benefit`` call
+        per candidate — the marginals, and therefore the ranking, are
+        bit-identical to the per-candidate loop.
+        """
         limit = limit if limit is not None else self.max_seeds
         if limit is None:
             limit = self.graph.num_nodes
@@ -50,12 +58,16 @@ class GreedyProfitMaximization(BaselineAlgorithm):
         remaining = set(self.graph.nodes())
         fallback: NodeId | None = None
         fallback_marginal = float("-inf")
+        saturated = self._saturated
         while len(selected) < limit and remaining:
             best_node = None
             best_marginal = 0.0
             best_benefit = current_benefit
-            for node in sorted(remaining, key=str):
-                new_benefit = self.benefit(selected + [node])
+            candidates = sorted(remaining, key=str)
+            benefits = self.batch_benefits(
+                [(selected + [node], saturated) for node in candidates]
+            )
+            for node, new_benefit in zip(candidates, benefits):
                 marginal = (new_benefit - current_benefit) - self.graph.seed_cost(node)
                 if not selected and marginal > fallback_marginal:
                     fallback_marginal = marginal

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "the command (streaming block-ordered reduction: results "
                  "are bit-identical for every worker count; default: serial)",
         )
+        sub.add_argument(
+            "--pipeline-depth", type=int, default=None,
+            help="in-flight bound of the batched evaluation scheduler: how "
+                 "many submitted evaluations a batch keeps pending before "
+                 "draining the oldest (results are bit-identical for any "
+                 "value; default: max(2, 2*workers))",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -119,6 +126,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         incremental=not getattr(args, "no_incremental", False),
         shard_size=getattr(args, "shard_size", None),
         workers=getattr(args, "workers", None),
+        pipeline_depth=getattr(args, "pipeline_depth", None),
     )
 
 
@@ -162,6 +170,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
         incremental=config.incremental,
         shard_size=config.shard_size,
         workers=config.workers,
+        pipeline_depth=config.pipeline_depth,
     )
     try:
         result = algorithm.solve()

@@ -55,6 +55,17 @@ full-resimulation loop selects, bit for bit.
 Candidates whose next coupon no longer fits the budget are retired
 permanently: the deployment's total cost only grows during the phase while a
 candidate's canonical marginal cost is fixed, so they can never fit again.
+
+Batched evaluation and snapshot advancement
+-------------------------------------------
+No part of the phase submits benefit evaluations one at a time: the pivot
+queue construction and the eager candidate pass run through
+:class:`~repro.diffusion.estimator.EvaluationPlan` (pipelined on a parallel
+estimator, bit-identical serially), and *both* kinds of accepted investment
+advance the delta snapshot surgically — coupon accepts through
+``splice_base`` and pivot accepts through the seed-accept splice
+(``advance_base_seed``) — so a full run pays exactly one instrumented
+snapshot pass, the initial one.
 """
 
 from __future__ import annotations
@@ -231,37 +242,38 @@ class InvestmentDeployment:
         # delta engine to reuse (every world is fresh), so the pivot queue
         # always prices candidates through the plain estimator path — the
         # numbers are bit-identical either way.  The evaluations are
-        # independent, so they go through the estimator's *batch* API: on a
-        # parallel backend the whole queue construction pipelines through
+        # independent, so the whole queue construction is one
+        # :class:`EvaluationPlan`: on a parallel backend it pipelines through
         # the shared worker pool instead of blocking per candidate.
         empty = Deployment(self.graph, sc_cost_cache=self._sc_cost_cache)
-        entries: List[Tuple[NodeId, float, Optional[float]]] = []
-        batch: List[Tuple[Set, Dict[NodeId, int]]] = []
+        plan = self.estimator.plan()
+        entries: List[Tuple[NodeId, float, int, Optional[float], Optional[int]]] = []
         for _, node in scored:
             self.explored_nodes.add(node)
             seed_only = empty.with_seed(node)
             seed_cost = seed_only.total_cost()
             if seed_cost > budget:
                 continue
-            batch.append((seed_only.seeds, seed_only.allocation.as_dict()))
+            seed_slot = plan.add(seed_only.seeds, seed_only.allocation.as_dict())
             coupon_cost: Optional[float] = None
+            coupon_slot: Optional[int] = None
             if self.graph.out_degree(node) > 0:
                 with_coupon = empty.with_seed(node, coupons=1)
                 cost = with_coupon.total_cost()
                 if cost <= budget:
                     coupon_cost = cost
-                    batch.append(
-                        (with_coupon.seeds, with_coupon.allocation.as_dict())
+                    coupon_slot = plan.add(
+                        with_coupon.seeds, with_coupon.allocation.as_dict()
                     )
-            entries.append((node, seed_cost, coupon_cost))
+            entries.append((node, seed_cost, seed_slot, coupon_cost, coupon_slot))
 
-        benefits = iter(self.estimator.expected_benefits(batch))
-        for node, seed_cost, coupon_cost in entries:
-            benefit = next(benefits)
+        plan.execute()
+        for node, seed_cost, seed_slot, coupon_cost, coupon_slot in entries:
+            benefit = plan.benefit(seed_slot)
             best_rate = benefit / seed_cost if seed_cost > 0 else 0.0
             best = PivotCandidate(node, 0, best_rate, seed_cost)
-            if coupon_cost is not None:
-                coupon_benefit = next(benefits)
+            if coupon_slot is not None:
+                coupon_benefit = plan.benefit(coupon_slot)
                 rate = coupon_benefit / coupon_cost if coupon_cost > 0 else 0.0
                 if rate > best_rate:
                     best = PivotCandidate(node, 1, rate, coupon_cost)
@@ -322,11 +334,17 @@ class InvestmentDeployment:
                     pivot.node, coupons=pivot.coupons
                 )
                 if candidate.total_cost() <= budget and pivot.node not in current.seeds:
+                    accepted = pivot.node
                     current = candidate
                     snapshots.append(current.copy())
                     iterations += 1
                     pivot = self._next_pivot(queue)
                     self._lazy.note_seed_accept()
+                    # Splice the accepted pivot into the delta snapshot (only
+                    # the worlds the new seed can change are re-simulated), so
+                    # the next iteration's set_base is a no-op instead of a
+                    # fresh O(num_samples) instrumented pass.
+                    self.marginal.advance_base_seed(current, accepted)
                     continue
                 # pivot does not fit: discard it and retry with the next one
                 pivot = self._next_pivot(queue)
@@ -402,12 +420,18 @@ class InvestmentDeployment:
         """Highest-MR coupon investment that still fits the budget."""
         if self.incremental:
             return self._best_coupon_investment_lazy(deployment, base_benefit, budget)
+        # Eager path: the candidates are compared against each other with no
+        # dependency between them, so the whole pass is one batched
+        # evaluation plan (pipelined on a parallel backend) instead of a
+        # blocking per-candidate loop — the selected investment is
+        # bit-identical either way.
+        candidates = self._coupon_candidates(deployment)
+        self.explored_nodes.update(candidates)
+        evaluations = self.marginal.of_extra_coupons(
+            deployment, candidates, base_benefit=base_benefit
+        )
         best: Optional[MarginalEvaluation] = None
-        for node in self._coupon_candidates(deployment):
-            self.explored_nodes.add(node)
-            evaluation = self.marginal.of_extra_coupon(
-                deployment, node, base_benefit=base_benefit
-            )
+        for evaluation in evaluations:
             if evaluation is None:
                 continue
             if evaluation.resulting.total_cost() > budget:

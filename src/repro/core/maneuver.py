@@ -24,6 +24,12 @@ descendant of the path receives each retrieved coupon) is under-specified in
 the pseudo-code; we route retrieved coupons to the path nodes with unmet
 allocation in traversal order, which realises the same paths with the same
 total coupon counts.  This simplification is recorded in DESIGN.md.
+
+Like the other two phases, SCM never submits benefit evaluations one at a
+time: each donor-ranking round prices every candidate retrieval through one
+:class:`~repro.diffusion.estimator.EvaluationPlan`, so on a parallel
+estimator the DIMD procedure pipelines through the shared shard pool with
+bit-identical rankings.
 """
 
 from __future__ import annotations
@@ -254,18 +260,34 @@ class SCManeuver:
 
         A donor's spare coupons are those beyond what the path itself requires
         of it (``K_j > K̂_j`` in Alg. 3); the DI of retrieving one coupon is
-        the benefit lost divided by the SC cost saved.
+        the benefit lost divided by the SC cost saved.  The candidate donors'
+        reduced deployments are independent of each other, so the whole
+        ranking is priced through one batched
+        :class:`~repro.diffusion.estimator.EvaluationPlan` (pipelined on a
+        parallel estimator) instead of one blocking evaluation per donor —
+        the DIs, and therefore the executed maneuvers, are bit-identical to
+        the per-donor loop.
         """
-        base_benefit = deployment.expected_benefit(self.estimator)
         base_cost = deployment.sc_cost()
-        donors: List[Tuple[float, NodeId, int]] = []
+        plan = self.estimator.plan()
+        # The base deployment rides in the same plan as the donors, so a
+        # cold-cache round pipelines it with the candidate evaluations
+        # instead of paying a blocking full pass first.
+        base_slot = plan.add(deployment.seeds, deployment.allocation.as_dict())
+        entries: List[Tuple[NodeId, int, Deployment, int]] = []
         for node, held in deployment.allocation.items():
             required_by_path = path.allocation.get(node, 0)
             spare = held - required_by_path
             if spare <= 0:
                 continue
             reduced = deployment.with_coupons_retrieved(node, 1)
-            benefit_loss = base_benefit - reduced.expected_benefit(self.estimator)
+            slot = plan.add(reduced.seeds, reduced.allocation.as_dict())
+            entries.append((node, spare, reduced, slot))
+        plan.execute()
+        base_benefit = plan.benefit(base_slot)
+        donors: List[Tuple[float, NodeId, int]] = []
+        for node, spare, reduced, slot in entries:
+            benefit_loss = base_benefit - plan.benefit(slot)
             cost_saved = base_cost - reduced.sc_cost()
             if cost_saved <= 0:
                 deterioration = float("inf") if benefit_loss > 0 else 0.0

@@ -40,7 +40,7 @@ still valid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.deployment import Deployment
 from repro.diffusion.delta import DeltaOutcome
@@ -148,6 +148,23 @@ class MarginalRedemption:
             evaluation.node,
             evaluation.resulting.seeds,
             evaluation.resulting.allocation.as_dict(),
+        )
+
+    def advance_base_seed(self, resulting: Deployment, node: NodeId) -> Optional[float]:
+        """Advance the base to an accepted *pivot* (seed) deployment.
+
+        Counterpart of :meth:`advance_base` for seed accepts: the estimator
+        delta-evaluates the accepted seed-add against the current base and
+        splices it into the snapshot
+        (:meth:`~repro.diffusion.monte_carlo.MonteCarloEstimator.advance_base_new_seed`),
+        so the next :meth:`set_base` is a no-op instead of an O(num_samples)
+        instrumented pass.  Returns the new base benefit, or ``None`` on the
+        eager path (the next :meth:`set_base` then evaluates as before).
+        """
+        if not self.incremental:
+            return None
+        return self.estimator.advance_base_new_seed(
+            node, resulting.seeds, resulting.allocation.as_dict()
         )
 
     def of_new_seed(
@@ -264,6 +281,73 @@ class MarginalRedemption:
             resulting=resulting,
             delta=outcome,
         )
+
+
+    def of_extra_coupons(
+        self,
+        base: Deployment,
+        nodes: Sequence[NodeId],
+        *,
+        base_benefit: Optional[float] = None,
+    ) -> List[Optional[MarginalEvaluation]]:
+        """Marginal redemptions of one more coupon on each of ``nodes``.
+
+        Batch form of :meth:`of_extra_coupon`, returning one entry per node
+        in order (``None`` where the node can hold no further coupon).  On
+        the eager (non-incremental) path every base/resulting pair is priced
+        through one :class:`~repro.diffusion.estimator.EvaluationPlan`, so a
+        parallel estimator pipelines the whole candidate pass instead of
+        blocking per candidate; the evaluations — and therefore the selected
+        investment — are bit-identical to the one-at-a-time loop.  On the
+        incremental path the delta engine answers each candidate in-process
+        (re-simulating only its dirty worlds), so the batch simply delegates.
+        """
+        if self.incremental:
+            if base_benefit is None:
+                base_benefit = self.set_base(base)
+            return [
+                self.of_extra_coupon(base, node, base_benefit=base_benefit)
+                for node in nodes
+            ]
+        graph = base.graph
+        plan = self.estimator.plan()
+        base_slot: Optional[int] = None
+        if base_benefit is None:
+            base_slot = plan.add(base.seeds, base.allocation.as_dict())
+        entries: List[Optional[Tuple[Deployment, float, int]]] = []
+        for node in nodes:
+            old_coupons = base.allocation.get(node)
+            if old_coupons >= graph.out_degree(node):
+                entries.append(None)
+                continue
+            resulting = base.with_extra_coupon(node)
+            cost_gain = base.node_sc_cost(node, old_coupons + 1) - base.node_sc_cost(
+                node, old_coupons
+            )
+            slot = plan.add(resulting.seeds, resulting.allocation.as_dict())
+            entries.append((resulting, cost_gain, slot))
+        plan.execute()
+        if base_slot is not None:
+            base_benefit = plan.benefit(base_slot)
+        evaluations: List[Optional[MarginalEvaluation]] = []
+        for node, entry in zip(nodes, entries):
+            if entry is None:
+                evaluations.append(None)
+                continue
+            resulting, cost_gain, slot = entry
+            benefit_gain = plan.benefit(slot) - base_benefit
+            evaluations.append(
+                MarginalEvaluation(
+                    node=node,
+                    action="coupon",
+                    benefit_gain=benefit_gain,
+                    cost_gain=cost_gain,
+                    ratio=_safe_ratio(benefit_gain, cost_gain),
+                    resulting=resulting,
+                    delta=None,
+                )
+            )
+        return evaluations
 
 
 def _safe_ratio(benefit_gain: float, cost_gain: float) -> float:

@@ -139,6 +139,12 @@ class S3CA:
         an experiment sweep runs many S3CA instances on **one** persistent
         worker pool.  The pool is never closed by S3CA or its estimator;
         its owner decides.  Ignored when ``estimator`` is supplied.
+    pipeline_depth:
+        In-flight bound of the default estimator's batched evaluation
+        scheduler (how many submitted evaluations a plan keeps pending
+        before draining the oldest).  ``None`` derives ``max(2, 2 *
+        workers)``.  Bit-identical results for any value; ignored when
+        ``estimator`` is supplied.
     """
 
     def __init__(
@@ -161,12 +167,14 @@ class S3CA:
         shard_size: Optional[int] = None,
         workers: Optional[int] = None,
         pool=None,
+        pipeline_depth: Optional[int] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.estimator = estimator or make_estimator(
             scenario, estimator_method, num_samples=num_samples, seed=seed,
             shard_size=shard_size, workers=workers, pool=pool,
+            pipeline_depth=pipeline_depth,
         )
         if isinstance(self.estimator, RRBenefitEstimator):
             warnings.warn(

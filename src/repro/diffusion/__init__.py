@@ -13,11 +13,16 @@ plain-IC regime (``rr_sets``).
 Construct estimators through :func:`make_estimator` (``factory``) rather than
 instantiating classes directly; the factory is the single switch point for
 the ``mc-compiled`` / ``mc`` / ``exact`` / ``rr`` methods.
+
+Batch evaluations — any set of candidate deployments compared against each
+other — through :class:`EvaluationPlan` / ``submit_many`` (``estimator``): the
+estimator schedules the batch (serial loop, or pipelined ``engine.submit``
+over the shard pool in ``parallel``) with bit-identical results either way.
 """
 
 from repro.diffusion.independent_cascade import simulate_independent_cascade
 from repro.diffusion.live_edge import LiveEdgeWorld, sample_worlds
-from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator, EvaluationPlan
 from repro.diffusion.delta import DeltaCascadeEngine, DeltaOutcome
 from repro.diffusion.engine import CompiledCascadeEngine
 from repro.diffusion.monte_carlo import MonteCarloEstimator
@@ -41,6 +46,7 @@ __all__ = [
     "LiveEdgeWorld",
     "sample_worlds",
     "BenefitEstimator",
+    "EvaluationPlan",
     "CompiledCascadeEngine",
     "DeltaCascadeEngine",
     "DeltaOutcome",

@@ -83,6 +83,15 @@ class DeltaOutcome:
         investment is *accepted*, :meth:`DeltaCascadeEngine.splice_base`
         grafts these directly into the snapshot instead of re-running a full
         instrumented pass.
+    clean_limited:
+        Only on :meth:`DeltaCascadeEngine.eval_new_seed` outcomes evaluated
+        with ``collect_clean_limited=True``: the *clean* (not re-simulated)
+        worlds in which the new seed holds live out-edges while carrying no
+        coupons — exactly the worlds where a fresh instrumented pass would
+        flag it coupon-limited at its dequeue.
+        :meth:`DeltaCascadeEngine.splice_base_new_seed` needs this limited-bit
+        bookkeeping to graft an accepted zero-coupon pivot without the full
+        pass.  ``None`` when the evaluation did not collect it.
     """
 
     __slots__ = (
@@ -94,6 +103,7 @@ class DeltaOutcome:
         "exact",
         "world_queues",
         "world_limited",
+        "clean_limited",
     )
 
     def __init__(
@@ -106,6 +116,7 @@ class DeltaOutcome:
         exact: bool,
         world_queues: Optional[Dict[int, List[int]]] = None,
         world_limited: Optional[Dict[int, List[int]]] = None,
+        clean_limited: Optional[Tuple[int, ...]] = None,
     ) -> None:
         self.benefit = benefit
         self.delta_index = delta_index
@@ -115,6 +126,7 @@ class DeltaOutcome:
         self.exact = exact
         self.world_queues = world_queues
         self.world_limited = world_limited
+        self.clean_limited = clean_limited
 
 
 class DeltaCascadeEngine:
@@ -132,10 +144,12 @@ class DeltaCascadeEngine:
         self._active_worlds: Dict[int, List[int]] = {}
         self._limited_worlds: Dict[int, List[int]] = {}
         #: Instrumented full passes run by :meth:`snapshot` vs accepted moves
-        #: grafted by :meth:`splice_base` — the benchmark's evidence that the
-        #: per-greedy-step re-snapshot pass is gone.
+        #: grafted by :meth:`splice_base` (coupon accepts) and
+        #: :meth:`splice_base_new_seed` (pivot accepts) — the benchmark's
+        #: evidence that every per-greedy-step re-snapshot pass is gone.
         self.snapshot_passes = 0
         self.spliced_advances = 0
+        self.spliced_seed_advances = 0
 
     @property
     def has_snapshot(self) -> bool:
@@ -267,12 +281,21 @@ class DeltaCascadeEngine:
         node: NodeId,
         new_seeds: Iterable[NodeId],
         new_allocation: Mapping[NodeId, int],
+        *,
+        collect_clean_limited: bool = False,
     ) -> DeltaOutcome:
         """Evaluate ``base`` with ``node`` added to the seed set.
 
         ``new_allocation`` may additionally raise ``node``'s own coupon count
         (the pivot-queue construction seeds users together with one coupon);
         any other difference falls back to a full pass.
+
+        ``collect_clean_limited`` additionally records, on the returned
+        outcome, the clean worlds in which a zero-coupon ``node`` holds live
+        out-edges (so a fresh instrumented pass would flag it coupon-limited
+        there) — the extra bookkeeping :meth:`splice_base_new_seed` needs
+        when the evaluated pivot is *accepted*.  The scan touches only the
+        per-world live-edge offsets, never a cascade.
         """
         self._require_snapshot()
         engine = self.engine
@@ -300,10 +323,13 @@ class DeltaCascadeEngine:
         active = self._active_worlds.get(position, [])
         dirty = list(active)
         clean = 0
+        clean_limited: List[int] = []
         if seed_coupons > 0:
             active_set = set(active)
             # Scan shard blocks in order (bounded memory under sharding) and
-            # keep the historic ascending world order in `dirty`.
+            # keep the historic ascending world order in `dirty`.  Clean
+            # worlds here hold no live out-edges for the node, so it is never
+            # coupon-limited in them: clean_limited stays empty.
             for start, count, _, offsets_block in engine.world_blocks():
                 for slot in range(count):
                     world_index = start + slot
@@ -316,12 +342,27 @@ class DeltaCascadeEngine:
                         clean += 1
         else:
             clean = engine.num_worlds - len(active)
+            if collect_clean_limited and compiled.indptr[position + 1] > compiled.indptr[position]:
+                # A zero-coupon seed is coupon-limited at its dequeue in every
+                # world where it holds at least one live out-edge.
+                active_set = set(active)
+                for start, count, _, offsets_block in engine.world_blocks():
+                    for slot in range(count):
+                        world_index = start + slot
+                        if world_index in active_set:
+                            continue
+                        offsets = offsets_block[slot]
+                        if offsets[position + 1] > offsets[position]:
+                            clean_limited.append(world_index)
 
         coupons = list(self._base_coupons)
         coupons[position] = seed_coupons
-        return self._splice(
+        outcome = self._splice(
             dirty, new_seed_indices, coupons, clean_node=position, clean_count=clean
         )
+        if collect_clean_limited:
+            outcome.clean_limited = tuple(clean_limited)
+        return outcome
 
     def refresh_benefit(self, outcome: DeltaOutcome) -> float:
         """Re-derive an outcome's benefit against the *current* snapshot.
@@ -431,6 +472,134 @@ class DeltaCascadeEngine:
             float(self._base_counts @ compiled.benefits) / self.engine.num_worlds
         )
         self.spliced_advances += 1
+        return self.base_benefit
+
+    def splice_base_new_seed(
+        self,
+        outcome: DeltaOutcome,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> Optional[float]:
+        """Make an accepted *pivot* (new-seed) move's deployment the new base.
+
+        ``outcome`` must come from :meth:`eval_new_seed` with
+        ``collect_clean_limited=True`` evaluated for exactly
+        ``(new_seeds, new_allocation)`` against the current base.  The
+        outcome's re-simulated (dirty) worlds are grafted exactly as in
+        :meth:`splice_base`; the *clean* worlds — where the base cascade is
+        provably untouched — are advanced by pure bookkeeping:
+
+        * the new seed is inserted into each clean world's activation queue
+          at its canonical position in the seed prefix (fresh snapshots seed
+          the queue in canonical order);
+        * where the outcome's ``clean_limited`` bookkeeping says a
+          zero-coupon seed holds live out-edges, the seed is inserted into
+          that world's coupon-limited list at its dequeue position — after
+          the limited seeds that precede it, before everything else;
+        * the per-node active/limited world indices and the count vector are
+          updated to match.
+
+        The resulting snapshot state is **identical** — queues, limited
+        lists, indices, counts and benefit, bit for bit — to
+        :meth:`snapshot` on the new deployment from scratch.  Returns the new
+        base benefit, or ``None`` when the outcome cannot be spliced
+        (fallback outcome, missing bookkeeping, mismatched deployment, stale
+        dirty set) — the caller then falls back to :meth:`snapshot`.
+        """
+        if not self.has_snapshot:
+            return None
+        if (
+            not outcome.exact
+            or outcome.world_queues is None
+            or outcome.dirty_worlds is None
+            or outcome.clean_limited is None
+        ):
+            return None
+        compiled = self.engine.compiled
+        new_seed_indices = compiled.indices_of(sorted(new_seeds, key=str))
+        position = compiled.index.get(node)
+        if position is None or position in self._base_seed_indices:
+            return None
+        if position not in new_seed_indices:
+            return None
+        stripped = [i for i in new_seed_indices if i != position]
+        if stripped != self._base_seed_indices:
+            return None
+        new_alloc = _normalize(new_allocation)
+        if new_alloc != self._base_alloc and not _single_increase(
+            self._base_alloc, new_alloc, node
+        ):
+            return None
+        seed_coupons = new_alloc.get(node, 0)
+        # The outcome must match the *current* snapshot: eval_new_seed builds
+        # its dirty list as the node's active worlds (ascending) followed by
+        # inactive live-edge worlds (coupon-carrying seeds only).
+        active = tuple(self._active_worlds.get(position, ()))
+        if tuple(outcome.dirty_worlds[: len(active)]) != active:
+            return None
+        extras = outcome.dirty_worlds[len(active):]
+        if extras and seed_coupons <= 0:
+            return None
+        if outcome.clean_limited and seed_coupons > 0:
+            return None
+        active_set = set(active)
+        if any(world in active_set for world in extras):
+            return None
+
+        active_worlds = self._active_worlds
+        limited_worlds = self._limited_worlds
+        base_queues = self._base_queues
+        base_limited = self._base_limited
+        for world_index in outcome.dirty_worlds:
+            new_queue = outcome.world_queues[world_index]
+            new_limited = outcome.world_limited[world_index]
+            old_active = set(base_queues[world_index])
+            new_active = set(new_queue)
+            for node_index in old_active - new_active:
+                _sorted_remove(active_worlds, node_index, world_index)
+            for node_index in new_active - old_active:
+                insort(active_worlds.setdefault(node_index, []), world_index)
+            old_lim = set(base_limited[world_index])
+            new_lim = set(new_limited)
+            for node_index in old_lim - new_lim:
+                _sorted_remove(limited_worlds, node_index, world_index)
+            for node_index in new_lim - old_lim:
+                insort(limited_worlds.setdefault(node_index, []), world_index)
+            base_queues[world_index] = list(new_queue)
+            base_limited[world_index] = list(new_limited)
+
+        # Clean worlds: base cascade untouched, bookkeeping only.
+        queue_slot = new_seed_indices.index(position)
+        prefix = set(new_seed_indices[:queue_slot])
+        dirty_set = set(outcome.dirty_worlds)
+        clean_limited_set = set(outcome.clean_limited)
+        node_active = active_worlds.setdefault(position, [])
+        for world_index in range(self.engine.num_worlds):
+            if world_index in dirty_set:
+                continue
+            base_queues[world_index].insert(queue_slot, position)
+            insort(node_active, world_index)
+            if world_index in clean_limited_set:
+                limited = base_limited[world_index]
+                # Seeds are dequeued first, in canonical order, so the new
+                # seed's limited entry lands after the limited seeds that
+                # precede it in that order and before everything else.
+                slot = 0
+                while slot < len(limited) and limited[slot] in prefix:
+                    slot += 1
+                limited.insert(slot, position)
+                insort(limited_worlds.setdefault(position, []), world_index)
+
+        if outcome.delta_index is not None and outcome.delta_index.size:
+            self._base_counts[outcome.delta_index] += outcome.delta_values
+        self._base_seed_indices = new_seed_indices
+        self._base_alloc = new_alloc
+        self._base_coupons[position] = seed_coupons
+        self.base_benefit = (
+            float(self._base_counts @ compiled.benefits) / self.engine.num_worlds
+        )
+        self.spliced_seed_advances += 1
         return self.base_benefit
 
     # ------------------------------------------------------------------

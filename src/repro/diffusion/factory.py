@@ -43,6 +43,7 @@ def make_estimator(
     shard_size: Optional[int] = None,
     workers: Optional[int] = None,
     pool=None,
+    pipeline_depth: Optional[int] = None,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -79,6 +80,11 @@ def make_estimator(
         registers its worlds on the injected pool instead of creating its
         own, and never closes it — the pool's owner does.  ``workers`` is
         ignored when a pool is given (the pool's width wins).
+    pipeline_depth:
+        In-flight bound of the batched evaluation scheduler
+        (:meth:`~repro.diffusion.monte_carlo.MonteCarloEstimator.submit_many`);
+        ``None`` derives ``max(2, 2 * workers)``.  Bit-identical results for
+        any value (compiled Monte-Carlo backend only).
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -96,6 +102,7 @@ def make_estimator(
             shard_size=shard_size,
             workers=workers,
             pool=pool,
+            pipeline_depth=pipeline_depth,
         )
     if method == "mc":
         return MonteCarloEstimator(

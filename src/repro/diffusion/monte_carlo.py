@@ -109,6 +109,12 @@ class MonteCarloEstimator(BenefitEstimator):
         ignored) and **never closes an injected pool** — :meth:`close` only
         unregisters this estimator's sampler; shutting the pool down is its
         owner's decision.  Compiled backend only.
+    pipeline_depth:
+        How many submitted evaluations :meth:`submit_many` keeps in flight
+        before draining the oldest.  ``None`` (default) picks
+        ``max(2, 2 * workers)`` — wide enough to keep every worker busy,
+        narrow enough to bound the parent's result buffering.  Any value
+        produces bit-identical results; only throughput changes.
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class MonteCarloEstimator(BenefitEstimator):
         shard_size: Optional[int] = None,
         workers: Optional[int] = None,
         pool=None,
+        pipeline_depth: Optional[int] = None,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -151,10 +158,19 @@ class MonteCarloEstimator(BenefitEstimator):
         self.shard_size = self._engine.shard_size if self._engine is not None else None
         self.workers = self._engine.workers if self._engine is not None else 1
         self.pool = self._engine.pool if self._engine is not None else None
+        if pipeline_depth is not None:
+            pipeline_depth = int(pipeline_depth)
+            if pipeline_depth < 1:
+                raise EstimationError(
+                    f"pipeline_depth must be >= 1 or None, got {pipeline_depth}"
+                )
         #: In-flight evaluations a batch keeps pending before draining the
-        #: oldest — wide enough to keep every worker busy, narrow enough to
-        #: bound the parent's result buffering.
-        self.pipeline_depth = max(2, 2 * self.workers)
+        #: oldest — the default is wide enough to keep every worker busy,
+        #: narrow enough to bound the parent's result buffering.
+        self.pipeline_depth = (
+            pipeline_depth if pipeline_depth is not None
+            else max(2, 2 * self.workers)
+        )
         self._benefit_cache: Dict[DeploymentKey, float] = {}
         self._probability_cache: Dict[DeploymentKey, Dict[NodeId, float]] = {}
         self.evaluations = 0
@@ -176,17 +192,19 @@ class MonteCarloEstimator(BenefitEstimator):
             self._remember(self._benefit_cache, key, benefit)
         return benefit
 
-    def expected_benefits(
+    def submit_many(
         self, deployments: Sequence[Tuple[Iterable[NodeId], Mapping[NodeId, int]]]
     ) -> List[float]:
         """Expected benefits of a batch of deployments, pipelined.
 
-        Returns exactly what calling :meth:`expected_benefit` per deployment
-        would return — same numbers, same memoisation — but on a parallel
-        compiled engine the uncached evaluations are *submitted* ahead of
-        being drained (up to :attr:`pipeline_depth` in flight), so the
-        parent's streaming reductions overlap the workers' cascades instead
-        of alternating with them.
+        The scheduler's batch primitive (every :class:`EvaluationPlan` this
+        estimator hands out executes through here).  Returns exactly what
+        calling :meth:`expected_benefit` per deployment would return — same
+        numbers, same memoisation — but on a parallel compiled engine the
+        uncached evaluations are *submitted* ahead of being drained (up to
+        :attr:`pipeline_depth` in flight), so the parent's streaming
+        reductions overlap the workers' cascades instead of alternating with
+        them.
         """
         deployments = [
             (_canonical_seeds(seeds), allocation) for seeds, allocation in deployments
@@ -251,6 +269,25 @@ class MonteCarloEstimator(BenefitEstimator):
         self.evaluations += 1
         return dict(probabilities)
 
+    def expected_spreads(
+        self, deployments: Sequence[Tuple[Iterable[NodeId], Mapping[NodeId, int]]]
+    ) -> List[float]:
+        """Expected activation counts of a batch of deployments, pipelined.
+
+        On the compiled backend one pipelined pass per uncached deployment
+        warms both memo caches (:meth:`submit_many` stores benefit *and*
+        activation probabilities from the same counts), after which the
+        per-deployment :meth:`expected_spread` reads are cache hits — the
+        returned values are bit-identical to looping :meth:`expected_spread`
+        without the batch.
+        """
+        if self._engine is not None:
+            self.submit_many(deployments)
+        return [
+            self.expected_spread(seeds, allocation)
+            for seeds, allocation in deployments
+        ]
+
     def expected_activations_and_benefit(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
     ) -> Tuple[float, float]:
@@ -295,8 +332,13 @@ class MonteCarloEstimator(BenefitEstimator):
 
     @property
     def delta_spliced_advances(self) -> int:
-        """Accepted moves spliced into the snapshot without a full pass."""
+        """Accepted coupon moves spliced into the snapshot without a full pass."""
         return self._delta.spliced_advances if self._delta is not None else 0
+
+    @property
+    def delta_spliced_seed_advances(self) -> int:
+        """Accepted pivot (seed) moves spliced into the snapshot without a full pass."""
+        return self._delta.spliced_seed_advances if self._delta is not None else 0
 
     def snapshot_base(
         self, seeds: Iterable[NodeId], allocation: Mapping[NodeId, int]
@@ -348,6 +390,49 @@ class MonteCarloEstimator(BenefitEstimator):
         if key == self._delta_base_key and delta.has_snapshot:
             return delta.base_benefit
         benefit = delta.splice_base(outcome, node, new_seeds, new_allocation)
+        if benefit is None:
+            return self.snapshot_base(new_seeds, new_allocation)
+        self._delta_base_key = key
+        self._remember(self._benefit_cache, key, benefit)
+        self._remember(
+            self._probability_cache,
+            key,
+            self._counts_to_probabilities(delta.base_counts),
+        )
+        return benefit
+
+    def advance_base_new_seed(
+        self,
+        node: NodeId,
+        new_seeds: Iterable[NodeId],
+        new_allocation: Mapping[NodeId, int],
+    ) -> float:
+        """Advance the delta base to an accepted *pivot*'s resulting deployment.
+
+        The accepted seed-add is delta-evaluated against the current base
+        (:meth:`DeltaCascadeEngine.eval_new_seed` with the clean-world
+        limited-bit bookkeeping collected) and spliced into the snapshot —
+        re-simulating only the worlds the new seed can change instead of the
+        O(num_samples) instrumented pass a fresh :meth:`snapshot_base` would
+        pay.  The spliced snapshot is bit-identical to a fresh one.  Falls
+        back to :meth:`snapshot_base` when the splice is refused.  Returns
+        the new base benefit either way, memoised exactly as a fresh
+        snapshot would be.
+        """
+        delta = self._require_delta()
+        new_seeds = _canonical_seeds(new_seeds)
+        key = self._key(new_seeds, new_allocation)
+        if key == self._delta_base_key and delta.has_snapshot:
+            return delta.base_benefit
+        if not delta.has_snapshot:
+            return self.snapshot_base(new_seeds, new_allocation)
+        outcome = delta.eval_new_seed(
+            node, new_seeds, new_allocation, collect_clean_limited=True
+        )
+        if not outcome.exact:
+            return self.snapshot_base(new_seeds, new_allocation)
+        self.evaluations += 1
+        benefit = delta.splice_base_new_seed(outcome, node, new_seeds, new_allocation)
         if benefit is None:
             return self.snapshot_base(new_seeds, new_allocation)
         self._delta_base_key = key

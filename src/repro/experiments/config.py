@@ -63,6 +63,12 @@ class ExperimentConfig:
     #: :class:`repro.diffusion.parallel.SharedShardPool`).  ``None``/``1``
     #: stays serial.
     workers: Optional[int] = None
+    #: In-flight bound of the batched evaluation scheduler: how many
+    #: submitted evaluations an :class:`~repro.diffusion.estimator.EvaluationPlan`
+    #: keeps pending before draining the oldest.  ``None`` derives
+    #: ``max(2, 2 * workers)``.  Results are bit-identical for any value —
+    #: only throughput changes.
+    pipeline_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.estimator_method not in ESTIMATOR_METHODS:
@@ -84,6 +90,10 @@ class ExperimentConfig:
             )
         if self.workers is not None and self.workers <= 0:
             raise ExperimentError(f"workers must be > 0 or None, got {self.workers}")
+        if self.pipeline_depth is not None and self.pipeline_depth <= 0:
+            raise ExperimentError(
+                f"pipeline_depth must be > 0 or None, got {self.pipeline_depth}"
+            )
 
     def replace(self, **changes) -> "ExperimentConfig":
         """Return a copy with some fields replaced."""

@@ -95,6 +95,7 @@ class ExperimentRunner:
                 shard_size=self.config.shard_size,
                 workers=self.config.workers,
                 pool=pool,
+                pipeline_depth=self.config.pipeline_depth,
             )
         self.estimator = estimator
 

@@ -93,6 +93,7 @@ def measure_s3ca(
         shard_size=config.shard_size,
         workers=config.workers,
         pool=pool,
+        pipeline_depth=config.pipeline_depth,
     )
     try:
         algorithm = S3CA(

@@ -1,0 +1,220 @@
+"""Property tests: the seed-accept splice is *identical* to a fresh snapshot.
+
+:meth:`DeltaCascadeEngine.splice_base_new_seed` grafts an accepted pivot
+(seed-add) move into the existing snapshot: dirty worlds are re-simulated and
+grafted like a coupon splice, clean worlds are advanced by pure bookkeeping —
+the new seed enters each clean world's queue at its canonical seed-prefix
+position, and a zero-coupon seed with live out-edges gets its coupon-limited
+bit set at its dequeue position.  As with the coupon splice, the contract is
+not "equivalent" but **identical**: every piece of the engine's snapshot
+state must equal, bit for bit and element for element, what a from-scratch
+:meth:`DeltaCascadeEngine.snapshot` of the resulting deployment produces —
+after any interleaving of seed accepts, coupon accepts and rejected probes,
+which is exactly the trace the ID phase's greedy loop generates.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.diffusion.delta import DeltaCascadeEngine
+from repro.diffusion.engine import CompiledCascadeEngine
+from repro.diffusion.monte_carlo import MonteCarloEstimator
+
+from tests.properties.test_splice_properties import (
+    _assert_snapshot_state_identical,
+    instance,
+)
+
+NUM_WORLDS = 16
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    instance(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.booleans(),
+    st.data(),
+)
+def test_seed_splice_identical_to_fresh_snapshot(data_instance, seed, sharded, data):
+    graph, seeds, allocation = data_instance
+    engine = CompiledCascadeEngine(
+        graph.compiled(), NUM_WORLDS, seed=seed,
+        shard_size=5 if sharded else None,
+    )
+    delta = DeltaCascadeEngine(engine)
+    delta.snapshot(seeds, allocation)
+    nodes = list(graph.nodes())
+    current_seeds = sorted(seeds, key=str)
+    alloc = {node: count for node, count in allocation.items() if count > 0}
+
+    steps = data.draw(st.integers(min_value=1, max_value=3))
+    for _ in range(steps):
+        candidates = [node for node in nodes if node not in current_seeds]
+        if not candidates:
+            break
+        # Rejected probes first, as in a greedy iteration: candidate seed
+        # evaluations must leave the snapshot untouched.
+        for _ in range(data.draw(st.integers(min_value=0, max_value=2))):
+            probe = data.draw(st.sampled_from(candidates))
+            delta.eval_new_seed(
+                probe, current_seeds + [probe], alloc, collect_clean_limited=True
+            )
+
+        node = data.draw(st.sampled_from(candidates))
+        new_seeds = sorted(current_seeds + [node], key=str)
+        new_alloc = dict(alloc)
+        # Pivot configs may carry a first coupon (Alg. 1 lines 1-8); exercise
+        # both the zero-coupon (clean-limited bookkeeping) and coupon cases.
+        if graph.out_degree(node) and data.draw(st.booleans()):
+            new_alloc[node] = new_alloc.get(node, 0) + 1
+        outcome = delta.eval_new_seed(
+            node, new_seeds, new_alloc, collect_clean_limited=True
+        )
+        assert outcome.exact
+        assert outcome.clean_limited is not None
+
+        benefit = delta.splice_base_new_seed(outcome, node, new_seeds, new_alloc)
+        assert benefit is not None
+        current_seeds = new_seeds
+        alloc = new_alloc
+
+        fresh = DeltaCascadeEngine(engine)
+        _, fresh_benefit = fresh.snapshot(current_seeds, alloc)
+        assert benefit == fresh_benefit
+        _assert_snapshot_state_identical(delta, fresh)
+    # The whole trace ran on exactly one instrumented pass.
+    assert delta.snapshot_passes == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance(), st.integers(min_value=0, max_value=2**31 - 1), st.data())
+def test_interleaved_seed_and_coupon_splices_identical_to_fresh(
+    data_instance, seed, data
+):
+    """A greedy-like trace mixing pivot and coupon accepts never re-snapshots."""
+    graph, seeds, allocation = data_instance
+    engine = CompiledCascadeEngine(graph.compiled(), NUM_WORLDS, seed=seed)
+    delta = DeltaCascadeEngine(engine)
+    delta.snapshot(seeds, allocation)
+    nodes = list(graph.nodes())
+    current_seeds = sorted(seeds, key=str)
+    alloc = {node: count for node, count in allocation.items() if count > 0}
+
+    for _ in range(data.draw(st.integers(min_value=2, max_value=4))):
+        non_seeds = [node for node in nodes if node not in current_seeds]
+        take_seed = bool(non_seeds) and data.draw(st.booleans())
+        if take_seed:
+            node = data.draw(st.sampled_from(non_seeds))
+            new_seeds = sorted(current_seeds + [node], key=str)
+            outcome = delta.eval_new_seed(
+                node, new_seeds, alloc, collect_clean_limited=True
+            )
+            assert delta.splice_base_new_seed(outcome, node, new_seeds, alloc) \
+                is not None
+            current_seeds = new_seeds
+        else:
+            node = data.draw(st.sampled_from(nodes))
+            new_alloc = dict(alloc)
+            new_alloc[node] = new_alloc.get(node, 0) + 1
+            outcome = delta.eval_extra_coupon(node, current_seeds, new_alloc)
+            assert delta.splice_base(outcome, node, current_seeds, new_alloc) \
+                is not None
+            alloc = new_alloc
+
+        fresh = DeltaCascadeEngine(engine)
+        fresh.snapshot(current_seeds, alloc)
+        _assert_snapshot_state_identical(delta, fresh)
+    assert delta.snapshot_passes == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(instance(), st.integers(min_value=0, max_value=2**31 - 1), st.data())
+def test_estimator_advance_base_new_seed_matches_fresh_snapshot_base(
+    data_instance, seed, data
+):
+    """The estimator-level seed splice produces the same base benefit, memo
+    state and follow-up delta answers a fresh ``snapshot_base`` would."""
+    graph, seeds, allocation = data_instance
+    spliced = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=seed)
+    reference = MonteCarloEstimator(graph, num_samples=NUM_WORLDS, seed=seed)
+
+    spliced.snapshot_base(seeds, allocation)
+    current_seeds = sorted(seeds, key=str)
+    alloc = {node: count for node, count in allocation.items() if count > 0}
+    nodes = list(graph.nodes())
+    for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+        candidates = [node for node in nodes if node not in current_seeds]
+        if not candidates:
+            break
+        node = data.draw(st.sampled_from(candidates))
+        current_seeds = sorted(current_seeds + [node], key=str)
+        if graph.out_degree(node) and data.draw(st.booleans()):
+            alloc = dict(alloc)
+            alloc[node] = alloc.get(node, 0) + 1
+        benefit = spliced.advance_base_new_seed(node, current_seeds, alloc)
+
+        assert benefit == reference.snapshot_base(current_seeds, alloc)
+        assert spliced.expected_benefit(current_seeds, alloc) == (
+            reference.expected_benefit(current_seeds, alloc)
+        )
+        assert spliced.activation_probabilities(current_seeds, alloc) == (
+            reference.activation_probabilities(current_seeds, alloc)
+        )
+        # Follow-up delta queries against the spliced base must match ones
+        # against the freshly snapshotted base.
+        probe = data.draw(st.sampled_from(nodes))
+        assert spliced.coupon_dirty_worlds(probe) == (
+            reference.coupon_dirty_worlds(probe)
+        )
+        probe_alloc = dict(alloc)
+        probe_alloc[probe] = probe_alloc.get(probe, 0) + 1
+        probed = spliced.delta_extra_coupon(
+            current_seeds, alloc, probe, current_seeds, probe_alloc
+        )
+        probed_ref = reference.delta_extra_coupon(
+            current_seeds, alloc, probe, current_seeds, probe_alloc
+        )
+        assert probed.benefit == probed_ref.benefit
+        assert probed.dirty_worlds == probed_ref.dirty_worlds
+        assert probed.touched == probed_ref.touched
+    assert spliced.delta_snapshot_passes == 1
+
+
+def test_seed_splice_refuses_mismatched_deployments(two_hop_path):
+    """Wrong seed sets, missing bookkeeping and stale outcomes fall back."""
+    engine = CompiledCascadeEngine(two_hop_path.compiled(), 12, seed=5)
+    delta = DeltaCascadeEngine(engine)
+    delta.snapshot(["a"], {"a": 1})
+    outcome = delta.eval_new_seed(
+        "b", ["a", "b"], {"a": 1}, collect_clean_limited=True
+    )
+    assert outcome.exact
+
+    # missing clean-limited bookkeeping (plain candidate evaluation)
+    plain = delta.eval_new_seed("b", ["a", "b"], {"a": 1})
+    assert plain.clean_limited is None
+    assert delta.splice_base_new_seed(plain, "b", ["a", "b"], {"a": 1}) is None
+    # seed set that is not base + the node
+    assert delta.splice_base_new_seed(outcome, "b", ["b"], {"a": 1}) is None
+    assert delta.splice_base_new_seed(
+        outcome, "b", ["a", "b", "c"], {"a": 1}
+    ) is None
+    # allocation that is not base + one increment on the node
+    assert delta.splice_base_new_seed(
+        outcome, "b", ["a", "b"], {"a": 2}
+    ) is None
+    # node already a seed
+    already = delta.eval_new_seed("a", ["a"], {"a": 1}, collect_clean_limited=True)
+    assert delta.splice_base_new_seed(already, "a", ["a"], {"a": 1}) is None
+    # the refusals must not have corrupted the snapshot
+    fresh = DeltaCascadeEngine(engine)
+    fresh.snapshot(["a"], {"a": 1})
+    _assert_snapshot_state_identical(delta, fresh)
+
+    # a valid accept still splices after all the refusals
+    assert delta.splice_base_new_seed(outcome, "b", ["a", "b"], {"a": 1}) \
+        is not None
+    fresh = DeltaCascadeEngine(engine)
+    fresh.snapshot(["a", "b"], {"a": 1})
+    _assert_snapshot_state_identical(delta, fresh)
+    assert delta.spliced_seed_advances == 1
