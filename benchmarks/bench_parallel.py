@@ -31,7 +31,12 @@ Environment knobs (all optional):
 ``REPRO_BENCH_PARALLEL_SAMPLES``
     Monte-Carlo worlds (default ``300``).
 ``REPRO_BENCH_PARALLEL_WORKERS``
-    Pool size (default ``4``).
+    Requested pool size (default ``4``).  The benchmark clamps this to the
+    machine's usable cores — running 4 workers on 1 core measures scheduler
+    thrash, not the pool — and records both the requested and the effective
+    width in the trajectory.  With fewer than 2 usable cores the parallel
+    legs are skipped entirely (with the reason recorded), since a speedup is
+    physically impossible there.
 ``REPRO_BENCH_PARALLEL_EVALS``
     Distinct deployments evaluated per timing (default ``20``).
 ``REPRO_BENCH_PARALLEL_MIN_SPEEDUP``
@@ -65,7 +70,7 @@ SIZES = [
     for token in os.environ.get("REPRO_BENCH_PARALLEL_SIZES", "2000,6000").split(",")
 ]
 NUM_SAMPLES = int(os.environ.get("REPRO_BENCH_PARALLEL_SAMPLES", "300"))
-WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
+REQUESTED_WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
 NUM_EVALS = int(os.environ.get("REPRO_BENCH_PARALLEL_EVALS", "20"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PARALLEL_MIN_SPEEDUP", "2.0"))
 MAX_MEM_RATIO = float(os.environ.get("REPRO_BENCH_PARALLEL_MAX_MEM_RATIO", "0.7"))
@@ -164,7 +169,7 @@ def _peak_memory(compiled, shard_size, deployment):
     return peak
 
 
-def _append_trajectory(points):
+def _append_trajectory(points, effective_workers, parallel_skip_reason):
     data = {"benchmark": "parallel_estimation", "runs": []}
     if TRAJECTORY_PATH.exists():
         try:
@@ -178,7 +183,9 @@ def _append_trajectory(points):
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "num_samples": NUM_SAMPLES,
             "shard_size": SHARD_SIZE,
-            "workers": WORKERS,
+            "requested_workers": REQUESTED_WORKERS,
+            "effective_workers": effective_workers,
+            "parallel_skip_reason": parallel_skip_reason,
             "evaluations": NUM_EVALS,
             "usable_cores": _usable_cores(),
             "points": points,
@@ -193,6 +200,19 @@ def test_parallel_estimation_throughput_and_memory(report):
     points = []
     from repro.diffusion.parallel import SharedShardPool
 
+    usable = _usable_cores()
+    # Never run more workers than usable cores: an oversubscribed pool on a
+    # starved machine measures scheduler thrash, not the executor.  On a
+    # single-core box the parallel legs are skipped outright — a speedup is
+    # physically impossible and the recorded 0.0x numbers would be noise.
+    effective_workers = max(1, min(REQUESTED_WORKERS, usable))
+    parallel_skip_reason = None
+    if effective_workers < 2:
+        parallel_skip_reason = (
+            f"requested {REQUESTED_WORKERS} workers but only {usable} usable "
+            f"core(s); a pool cannot beat serial, parallel legs skipped"
+        )
+
     for size in SIZES:
         scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
         compiled = scenario.graph.compiled()
@@ -201,70 +221,81 @@ def test_parallel_estimation_throughput_and_memory(report):
         serial = CompiledCascadeEngine(compiled, NUM_SAMPLES, seed=BENCH_SEED)
         serial_benefits, serial_rate, _ = _throughput(serial, deployments)
 
-        # Both parallel measurements (sequential and pipelined submission)
-        # register on ONE shared pool — the configuration every layer above
-        # now runs in.
-        with SharedShardPool(WORKERS) as pool:
-            parallel = CompiledCascadeEngine(
-                compiled, NUM_SAMPLES, seed=BENCH_SEED,
-                shard_size=SHARD_SIZE, pool=pool,
-            )
-            try:
-                parallel.expected_benefit(*deployments[0])  # warm the pool
-                parallel_benefits, parallel_rate, seq_idle = _throughput(
-                    parallel, deployments
-                )
-                pipelined_benefits, pipelined_rate, pipe_idle = (
-                    _pipelined_throughput(
-                        parallel, deployments, depth=2 * WORKERS
-                    )
-                )
-            finally:
-                parallel.close()
-            assert not pool.closed  # the engine released only its sampler
-
-        # Parity is the contract; speed without it is worthless.
-        assert parallel_benefits == serial_benefits
-        assert pipelined_benefits == serial_benefits
-
-        mono_peak = _peak_memory(compiled, None, deployments[0])
-        shard_peak = _peak_memory(compiled, SHARD_SIZE, deployments[0])
-
         point = {
             "nodes": size,
             "edges": scenario.num_edges,
             "serial_evals_per_sec": round(serial_rate, 2),
-            "parallel_evals_per_sec": round(parallel_rate, 2),
-            "speedup": round(parallel_rate / serial_rate, 2),
-            "pipelined_evals_per_sec": round(pipelined_rate, 2),
-            "pipeline_speedup": round(pipelined_rate / parallel_rate, 2),
-            "parent_idle_frac_sequential": round(seq_idle, 3),
-            "parent_idle_frac_pipelined": round(pipe_idle, 3),
-            "monolithic_peak_mb": round(mono_peak / 1e6, 3),
-            "sharded_peak_mb": round(shard_peak / 1e6, 3),
-            "mem_ratio": round(shard_peak / mono_peak, 3),
+            "parallel_evals_per_sec": None,
+            "speedup": None,
+            "pipelined_evals_per_sec": None,
+            "pipeline_speedup": None,
+            "parent_idle_frac_sequential": None,
+            "parent_idle_frac_pipelined": None,
             "identical_benefits": True,
         }
+
+        if parallel_skip_reason is None:
+            # Both parallel measurements (sequential and pipelined
+            # submission) register on ONE shared pool — the configuration
+            # every layer above now runs in.
+            with SharedShardPool(effective_workers) as pool:
+                parallel = CompiledCascadeEngine(
+                    compiled, NUM_SAMPLES, seed=BENCH_SEED,
+                    shard_size=SHARD_SIZE, pool=pool,
+                )
+                try:
+                    parallel.expected_benefit(*deployments[0])  # warm the pool
+                    parallel_benefits, parallel_rate, seq_idle = _throughput(
+                        parallel, deployments
+                    )
+                    pipelined_benefits, pipelined_rate, pipe_idle = (
+                        _pipelined_throughput(
+                            parallel, deployments, depth=2 * effective_workers
+                        )
+                    )
+                finally:
+                    parallel.close()
+                assert not pool.closed  # the engine released only its sampler
+
+            # Parity is the contract; speed without it is worthless.
+            assert parallel_benefits == serial_benefits
+            assert pipelined_benefits == serial_benefits
+            point.update(
+                parallel_evals_per_sec=round(parallel_rate, 2),
+                speedup=round(parallel_rate / serial_rate, 2),
+                pipelined_evals_per_sec=round(pipelined_rate, 2),
+                pipeline_speedup=round(pipelined_rate / parallel_rate, 2),
+                parent_idle_frac_sequential=round(seq_idle, 3),
+                parent_idle_frac_pipelined=round(pipe_idle, 3),
+            )
+
+        mono_peak = _peak_memory(compiled, None, deployments[0])
+        shard_peak = _peak_memory(compiled, SHARD_SIZE, deployments[0])
+        point.update(
+            monolithic_peak_mb=round(mono_peak / 1e6, 3),
+            sharded_peak_mb=round(shard_peak / 1e6, 3),
+            mem_ratio=round(shard_peak / mono_peak, 3),
+        )
         points.append(point)
         rows.append(point)
 
-    text = format_table(
-        rows,
-        title=(
-            f"Estimation throughput: serial vs {WORKERS}-worker pool "
-            f"({NUM_SAMPLES} worlds, shard_size={SHARD_SIZE}, "
-            f"{_usable_cores()} usable cores)"
-        ),
+    title = (
+        f"Estimation throughput: serial vs {effective_workers}-worker pool "
+        f"(requested {REQUESTED_WORKERS}, {NUM_SAMPLES} worlds, "
+        f"shard_size={SHARD_SIZE}, {usable} usable cores)"
     )
+    text = format_table(rows, title=title)
+    if parallel_skip_reason is not None:
+        text += f"\nNOTE: {parallel_skip_reason}\n"
     report("parallel_estimation", text)
-    _append_trajectory(points)
+    _append_trajectory(points, effective_workers, parallel_skip_reason)
 
     largest = points[-1]
     assert largest["mem_ratio"] <= MAX_MEM_RATIO, (
         f"sharded peak memory is {largest['mem_ratio']:.2f}x the monolithic "
         f"peak on the largest graph, above the {MAX_MEM_RATIO}x bar"
     )
-    if _usable_cores() >= 2:
+    if parallel_skip_reason is None:
         assert largest["speedup"] >= MIN_SPEEDUP, (
             f"parallel throughput speedup on the largest graph "
             f"({largest['nodes']} nodes) is {largest['speedup']:.2f}x, below "

@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "draining the oldest (results are bit-identical for any "
                  "value; default: max(2, 2*workers))",
         )
+        sub.add_argument(
+            "--no-kernel", action="store_true",
+            help="force the interpreted cascade loop instead of the native "
+                 "compiled kernel (numba or C backend); results are "
+                 "bit-identical either way, only slower — mainly for "
+                 "cross-checking (default: use the kernel when one is "
+                 "available, silently falling back otherwise)",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -127,6 +135,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         shard_size=getattr(args, "shard_size", None),
         workers=getattr(args, "workers", None),
         pipeline_depth=getattr(args, "pipeline_depth", None),
+        use_kernel=False if getattr(args, "no_kernel", False) else None,
     )
 
 
@@ -171,6 +180,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
         shard_size=config.shard_size,
         workers=config.workers,
         pipeline_depth=config.pipeline_depth,
+        use_kernel=config.use_kernel,
     )
     try:
         result = algorithm.solve()

@@ -145,6 +145,12 @@ class S3CA:
         before draining the oldest).  ``None`` derives ``max(2, 2 *
         workers)``.  Bit-identical results for any value; ignored when
         ``estimator`` is supplied.
+    use_kernel:
+        Native cascade kernel dispatch of the default estimator
+        (:mod:`repro.diffusion.kernels`): ``None`` auto-detects with silent
+        interpreted fallback, ``True`` warns on fallback, ``False`` forces
+        the interpreted oracle.  The selected deployment is bit-identical
+        either way; ignored when ``estimator`` is supplied.
     """
 
     def __init__(
@@ -168,13 +174,14 @@ class S3CA:
         workers: Optional[int] = None,
         pool=None,
         pipeline_depth: Optional[int] = None,
+        use_kernel: Optional[bool] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.estimator = estimator or make_estimator(
             scenario, estimator_method, num_samples=num_samples, seed=seed,
             shard_size=shard_size, workers=workers, pool=pool,
-            pipeline_depth=pipeline_depth,
+            pipeline_depth=pipeline_depth, use_kernel=use_kernel,
         )
         if isinstance(self.estimator, RRBenefitEstimator):
             warnings.warn(

@@ -199,10 +199,10 @@ class DeltaCascadeEngine:
         limited_worlds: Dict[int, List[int]] = {}
         flat: List[int] = []
         if self._base_seed_indices:
-            for world_index in range(engine.num_worlds):
-                queue, limited = engine.cascade_world_instrumented(
-                    world_index, self._base_seed_indices, coupons
-                )
+            instrumented = engine.cascade_worlds_instrumented(
+                range(engine.num_worlds), self._base_seed_indices, coupons
+            )
+            for world_index, (queue, limited) in enumerate(instrumented):
                 queues.append(queue)
                 limited_lists.append(limited)
                 flat.extend(queue)
@@ -327,16 +327,18 @@ class DeltaCascadeEngine:
         if seed_coupons > 0:
             active_set = set(active)
             # Scan shard blocks in order (bounded memory under sharding) and
-            # keep the historic ascending world order in `dirty`.  Clean
-            # worlds here hold no live out-edges for the node, so it is never
-            # coupon-limited in them: clean_limited stays empty.
-            for start, count, _, offsets_block in engine.world_blocks():
+            # keep the historic ascending world order in `dirty`.  The
+            # per-world live-out-edge test is one vectorized column compare
+            # on the block's flat offsets array.  Clean worlds here hold no
+            # live out-edges for the node, so it is never coupon-limited in
+            # them: clean_limited stays empty.
+            for start, count, block in engine.world_blocks():
+                has_live = block.offsets[:, position + 1] > block.offsets[:, position]
                 for slot in range(count):
                     world_index = start + slot
                     if world_index in active_set:
                         continue
-                    offsets = offsets_block[slot]
-                    if offsets[position + 1] > offsets[position]:
+                    if has_live[slot]:
                         dirty.append(world_index)
                     else:
                         clean += 1
@@ -346,13 +348,15 @@ class DeltaCascadeEngine:
                 # A zero-coupon seed is coupon-limited at its dequeue in every
                 # world where it holds at least one live out-edge.
                 active_set = set(active)
-                for start, count, _, offsets_block in engine.world_blocks():
+                for start, count, block in engine.world_blocks():
+                    has_live = (
+                        block.offsets[:, position + 1] > block.offsets[:, position]
+                    )
                     for slot in range(count):
                         world_index = start + slot
                         if world_index in active_set:
                             continue
-                        offsets = offsets_block[slot]
-                        if offsets[position + 1] > offsets[position]:
+                        if has_live[slot]:
                             clean_limited.append(world_index)
 
         coupons = list(self._base_coupons)
@@ -642,10 +646,10 @@ class DeltaCascadeEngine:
         touched: set = set()
         world_queues: Dict[int, List[int]] = {}
         world_limited: Dict[int, List[int]] = {}
-        for world_index in dirty:
-            queue, limited = engine.cascade_world_instrumented(
-                world_index, seed_indices, coupons
-            )
+        instrumented = engine.cascade_worlds_instrumented(
+            dirty, seed_indices, coupons
+        )
+        for world_index, (queue, limited) in zip(dirty, instrumented):
             removed.extend(self._base_queues[world_index])
             added.extend(queue)
             touched.update(limited)

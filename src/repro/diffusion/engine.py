@@ -47,11 +47,13 @@ order while the engine accumulates in activation order.
 from __future__ import annotations
 
 import copy
+import warnings
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.diffusion import kernels as _kernels
 from repro.exceptions import EstimationError
 from repro.graph.csr import CompiledGraph
 from repro.graph.social_graph import SocialGraph
@@ -61,8 +63,6 @@ NodeId = Hashable
 
 #: One world's live adjacency: (targets, offsets) in coupon hand-off order.
 WorldAdjacency = Tuple[List[int], List[int]]
-#: A contiguous block of worlds: parallel lists of targets / offsets.
-WorldBlock = Tuple[List[List[int]], List[List[int]]]
 
 #: How many shard blocks the engine keeps resident at once.  Two covers the
 #: common access patterns (a sequential full pass, plus the delta engine
@@ -71,6 +71,67 @@ _MAX_CACHED_BLOCKS = 2
 
 #: Draw-and-discard chunk for bit generators without ``advance``.
 _DISCARD_CHUNK = 65_536
+
+
+class FlatWorldBlock:
+    """A contiguous block of worlds stored as flat contiguous int arrays.
+
+    This is the block representation every path — the serial engine, the
+    delta snapshot engine, the multiprocess workers and the native kernels —
+    consumes.  No Python lists exist in the hot path:
+
+    ``targets``
+        int32 array: the concatenated live-edge targets of every world of
+        the block, each world's targets in coupon hand-off order.
+    ``offsets``
+        int64 array of shape ``(count, num_nodes + 1)``: world ``w``'s live
+        out-edges of node ``u`` are ``targets[offsets[w, u]:offsets[w, u+1]]``.
+        Offsets are **absolute** indices into the concatenated ``targets``
+        (each row is already rebased by its world's boundary), so a cascade
+        needs no per-world base arithmetic; ``offsets[w, 0]`` /
+        ``offsets[w, -1]`` delimit world ``w``'s slice of ``targets`` — the
+        per-world boundary index.
+    ``count``
+        Number of worlds in the block.
+
+    The interpreted oracle path still runs on Python lists (flat numpy
+    scalar indexing is slower than list indexing in pure Python);
+    :meth:`lists` materialises — lazily, once per block — the concatenated
+    targets list and per-world absolute offset rows it needs, so the
+    interpreted loop keeps its historic speed without a second world
+    representation being drawn.
+    """
+
+    __slots__ = ("targets", "offsets", "count", "_targets_list", "_offsets_rows")
+
+    def __init__(self, targets: np.ndarray, offsets: np.ndarray, count: int) -> None:
+        self.targets = targets
+        self.offsets = offsets
+        self.count = count
+        self._targets_list: Optional[List[int]] = None
+        self._offsets_rows: Optional[List[List[int]]] = None
+
+    def lists(self) -> Tuple[List[int], List[List[int]]]:
+        """Python-list view ``(targets, offset rows)`` for the interpreted path."""
+        if self._targets_list is None:
+            self._targets_list = self.targets.tolist()
+            self._offsets_rows = self.offsets.tolist()
+        return self._targets_list, self._offsets_rows
+
+    def world_local(self, slot: int) -> WorldAdjacency:
+        """One world's live adjacency as world-local ``(targets, offsets)`` lists.
+
+        The returned pair is self-contained (offsets rebased to the world's
+        own targets slice) and therefore comparable across blocks and shard
+        sizes — the representation :meth:`CompiledCascadeEngine.world`
+        exposes.
+        """
+        row = self.offsets[slot]
+        base = int(row[0])
+        return (
+            self.targets[base:int(row[-1])].tolist(),
+            (row - base).tolist(),
+        )
 
 
 class WorldSampler:
@@ -113,8 +174,8 @@ class WorldSampler:
                 _discard_draws(generator, skip)
         return generator
 
-    def draw_block(self, start: int, count: int) -> WorldBlock:
-        """Materialise worlds ``start .. start+count-1`` as live adjacencies."""
+    def draw_block(self, start: int, count: int) -> FlatWorldBlock:
+        """Materialise worlds ``start .. start+count-1`` as one flat block."""
         compiled = self.compiled
         generator = self.generator_at(start)
         num_edges = compiled.num_edges
@@ -122,14 +183,24 @@ class WorldSampler:
         indices = compiled.indices
         edge_pos = compiled.edge_pos
         probs = compiled.probs
-        targets_block: List[List[int]] = []
-        offsets_block: List[List[int]] = []
-        for _ in range(count):
+        target_parts: List[np.ndarray] = []
+        offsets = np.empty((count, compiled.num_nodes + 1), dtype=np.int64)
+        base = 0
+        for slot in range(count):
             draws = generator.random(num_edges)  # graph.edges() order
             live_slots = np.flatnonzero(draws[edge_pos] < probs)
-            targets_block.append(indices[live_slots].tolist())
-            offsets_block.append(np.searchsorted(live_slots, indptr).tolist())
-        return targets_block, offsets_block
+            target_parts.append(indices[live_slots].astype(np.int32, copy=False))
+            row = offsets[slot]
+            row[:] = np.searchsorted(live_slots, indptr)
+            if base:
+                row += base
+            base += live_slots.size
+        targets = (
+            np.concatenate(target_parts)
+            if target_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        return FlatWorldBlock(targets, offsets, count)
 
 
 def _discard_draws(generator: np.random.Generator, count: int) -> None:
@@ -152,9 +223,9 @@ class BlockCache:
     def __init__(self, sampler: WorldSampler, max_blocks: int) -> None:
         self.sampler = sampler
         self.max_blocks = max_blocks
-        self._blocks: "OrderedDict[int, WorldBlock]" = OrderedDict()
+        self._blocks: "OrderedDict[int, FlatWorldBlock]" = OrderedDict()
 
-    def block(self, start: int, count: int) -> WorldBlock:
+    def block(self, start: int, count: int) -> FlatWorldBlock:
         blocks = self._blocks
         block = blocks.get(start)
         if block is not None:
@@ -168,25 +239,27 @@ class BlockCache:
 
 
 def cascade_block(
-    targets_block: List[List[int]],
-    offsets_block: List[List[int]],
+    block: FlatWorldBlock,
     seed_indices: List[int],
     coupons: List[int],
     visited: List[int],
     stamp: int,
 ) -> Tuple[List[int], int]:
-    """Run the deterministic cascade in every world of a block.
+    """Run the deterministic cascade in every world of a block (interpreted).
 
     Returns ``(flat_activations, stamp)`` — the concatenated activation
     queues of the block's worlds and the last stamp value written into
-    ``visited``.  This is the one cascade inner loop shared by the serial
-    engine and the multiprocess workers, so the two paths cannot drift.
-    ``visited`` is a stamp-versioned scratch array: the caller owns it and
-    must never reuse a stamp value already written.
+    ``visited``.  This is the cascade inner loop shared by the serial engine
+    and the multiprocess workers whenever the native kernel
+    (:mod:`repro.diffusion.kernels`) is disabled or unavailable — and the
+    bit-identity *oracle* the kernel is tested against.  ``visited`` is a
+    stamp-versioned scratch array: the caller owns it and must never reuse a
+    stamp value already written.
     """
     flat_activations: List[int] = []
     extend = flat_activations.extend
-    for targets, offsets in zip(targets_block, offsets_block):
+    targets, offsets_rows = block.lists()
+    for offsets in offsets_rows:
         stamp += 1
         queue = list(seed_indices)
         for seed in queue:
@@ -250,6 +323,18 @@ class CompiledCascadeEngine:
         is then ignored) and **never closes the injected pool** —
         :meth:`close` only unregisters the sampler; the pool's owner decides
         when the workers die.
+    use_kernel:
+        ``None`` (default) runs the cascade inner loop on the native compiled
+        kernel (:mod:`repro.diffusion.kernels` — numba ``@njit`` when numba
+        is importable, a C-compiled fallback otherwise) whenever one is
+        available, silently falling back to the interpreted loop when
+        neither backend exists.  ``True`` asks for the kernel explicitly and
+        *warns* when it has to fall back; ``False`` forces the interpreted
+        oracle path.  Activation queues, counts and benefits are
+        bit-identical either way — only speed changes.  The JIT is warmed on
+        a one-world dummy block here at construction, so the first timed
+        evaluation never pays compilation latency;
+        :attr:`kernel_compile_seconds` records what the warm-up cost.
     """
 
     def __init__(
@@ -262,6 +347,7 @@ class CompiledCascadeEngine:
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         pool=None,
+        use_kernel: Optional[bool] = None,
     ) -> None:
         if num_worlds <= 0:
             raise EstimationError(f"num_worlds must be > 0, got {num_worlds}")
@@ -300,23 +386,49 @@ class CompiledCascadeEngine:
             # shared generator land where they always did.
             _consume_stream(seed, self.num_worlds * compiled.num_edges)
 
-        # Resident worlds (monolithic mode) or a small LRU of shard blocks.
-        self._world_targets: Optional[List[List[int]]] = None
-        self._world_offsets: Optional[List[List[int]]] = None
+        # Resident world block (monolithic mode) or a small LRU of shards.
+        self._resident_block: Optional[FlatWorldBlock] = None
         self._block_cache = BlockCache(self.sampler, _MAX_CACHED_BLOCKS)
         if self.shard_size >= self.num_worlds:
-            self._world_targets, self._world_offsets = self.sampler.draw_block(
-                0, self.num_worlds
-            )
+            self._resident_block = self.sampler.draw_block(0, self.num_worlds)
 
         self._executor = None
 
-        # Stamp-versioned visited array shared across cascades: bumping the
-        # stamp resets it in O(1) instead of reallocating per world.
-        self._visited: List[int] = [0] * compiled.num_nodes
+        # Native kernel resolution: auto (None) silently falls back to the
+        # interpreted loop; an explicit request (True) warns on fallback.
+        self.use_kernel_requested = use_kernel
+        self._kernel = None
+        self.kernel_compile_seconds = 0.0
+        if use_kernel is not False:
+            self._kernel = _kernels.load_kernel()
+            if self._kernel is None and use_kernel is True:
+                warnings.warn(
+                    "no native cascade kernel backend is available (numba "
+                    "not importable, no C compiler); falling back to the "
+                    "interpreted cascade loop — results are identical, only "
+                    "slower",
+                    stacklevel=2,
+                )
+        num_nodes = compiled.num_nodes
+        if self._kernel is not None:
+            # Warm the JIT on a one-world dummy block now, so the first real
+            # evaluation (CELF pivot-queue timings, benchmarks) never pays
+            # compilation latency; record what the warm-up cost.
+            self.kernel_compile_seconds = self._kernel.warm()
+            self._kernel_visited = np.zeros(num_nodes, dtype=np.int64)
+            self._kernel_stamp = 0
+            self._kernel_queue = np.empty(num_nodes, dtype=np.int32)
+            self._kernel_limited = np.empty(num_nodes, dtype=np.int32)
+            self._kernel_coupons = np.zeros(num_nodes, dtype=np.int64)
+
+        # Stamp-versioned visited array shared across interpreted cascades:
+        # bumping the stamp resets it in O(1) instead of reallocating per
+        # world.  (The kernel path has its own numpy-typed buffers above;
+        # the two stamp streams never touch each other's arrays.)
+        self._visited: List[int] = [0] * num_nodes
         self._stamp = 0
         # Dense coupon buffer reused across evaluations (reset after each).
-        self._coupons: List[int] = [0] * compiled.num_nodes
+        self._coupons: List[int] = [0] * num_nodes
 
     # ------------------------------------------------------------------
     # world access
@@ -325,24 +437,40 @@ class CompiledCascadeEngine:
     @property
     def is_sharded(self) -> bool:
         """Whether worlds are materialised in blocks rather than resident."""
-        return self._world_targets is None
+        return self._resident_block is None
+
+    @property
+    def kernel_active(self) -> bool:
+        """Whether the native cascade kernel executes this engine's worlds."""
+        return self._kernel is not None
+
+    @property
+    def kernel_backend(self) -> Optional[str]:
+        """Resolved native backend name (``"numba"``/``"cc"``) or ``None``."""
+        return self._kernel.backend if self._kernel is not None else None
 
     def world(self, world_index: int) -> WorldAdjacency:
-        """The live adjacency ``(targets, offsets)`` of one world.
+        """The live adjacency of one world as world-local ``(targets, offsets)``.
 
-        Resident worlds are returned directly; in sharded mode the world's
-        block is drawn on demand and kept in a small LRU, so sequential
-        access (the snapshot pass, ascending dirty-world lists) regenerates
-        each block exactly once.
+        The returned lists are self-contained (offsets index the returned
+        targets), so worlds compare equal across shard sizes and block
+        layouts.  Resident worlds are sliced out of the resident block; in
+        sharded mode the world's block is drawn on demand and kept in a
+        small LRU, so sequential access (the snapshot pass, ascending
+        dirty-world lists) regenerates each block exactly once.
         """
-        if self._world_targets is not None:
-            return self._world_targets[world_index], self._world_offsets[world_index]
-        start = (world_index // self.shard_size) * self.shard_size
-        targets_block, offsets_block = self._block(start)
-        return targets_block[world_index - start], offsets_block[world_index - start]
+        block, slot = self._world_slot(world_index)
+        return block.world_local(slot)
 
-    def world_blocks(self) -> Iterator[Tuple[int, int, List[List[int]], List[List[int]]]]:
-        """Yield ``(start, count, targets_block, offsets_block)`` per shard.
+    def _world_slot(self, world_index: int) -> Tuple[FlatWorldBlock, int]:
+        """The flat block holding ``world_index`` and the world's slot in it."""
+        if self._resident_block is not None:
+            return self._resident_block, world_index
+        start = (world_index // self.shard_size) * self.shard_size
+        return self._block(start), world_index - start
+
+    def world_blocks(self) -> Iterator[Tuple[int, int, FlatWorldBlock]]:
+        """Yield ``(start, count, block)`` per shard, as flat array blocks.
 
         In monolithic mode this is a single block covering every world; in
         sharded mode each block is materialised as it is yielded and only a
@@ -350,13 +478,12 @@ class CompiledCascadeEngine:
         """
         for start in range(0, self.num_worlds, self.shard_size):
             count = min(self.shard_size, self.num_worlds - start)
-            if self._world_targets is not None:
-                yield start, count, self._world_targets, self._world_offsets
+            if self._resident_block is not None:
+                yield start, count, self._resident_block
             else:
-                targets_block, offsets_block = self._block(start)
-                yield start, count, targets_block, offsets_block
+                yield start, count, self._block(start)
 
-    def _block(self, start: int) -> WorldBlock:
+    def _block(self, start: int) -> FlatWorldBlock:
         count = min(self.shard_size, self.num_worlds - start)
         return self._block_cache.block(start, count)
 
@@ -389,11 +516,80 @@ class CompiledCascadeEngine:
         Giving any such node one more coupon is the *only* way a single-node
         coupon increment can change this world's outcome, which is what the
         delta-evaluation engine (:mod:`repro.diffusion.delta`) keys on.
+
+        Runs on the native kernel when one is active (identical queues and
+        limited lists, only faster); callers with several worlds to
+        re-simulate should prefer :meth:`cascade_worlds_instrumented`, which
+        converts the seed/coupon buffers once for the whole batch.
         """
+        if self._kernel is not None:
+            return self._kernel_world_instrumented(
+                world_index,
+                np.asarray(seed_indices, dtype=np.int32),
+                np.asarray(coupons, dtype=np.int64),
+            )
+        return self._interpreted_world_instrumented(
+            world_index, seed_indices, coupons
+        )
+
+    def cascade_worlds_instrumented(
+        self,
+        world_indices: Iterable[int],
+        seed_indices: List[int],
+        coupons: Sequence[int],
+    ) -> Iterator[Tuple[List[int], List[int]]]:
+        """Instrumented cascades over several worlds of one deployment.
+
+        Yields ``(queue, limited)`` per world of ``world_indices``, exactly
+        as per-world :meth:`cascade_world_instrumented` calls would — this
+        is the batch entry point the delta engine's snapshot and splice
+        passes run on, so the kernel path pays the seed/coupon array
+        conversion once per pass instead of once per world.
+        """
+        if self._kernel is None:
+            for world_index in world_indices:
+                yield self._interpreted_world_instrumented(
+                    world_index, seed_indices, coupons
+                )
+            return
+        seeds_arr = np.asarray(seed_indices, dtype=np.int32)
+        coupons_arr = np.asarray(coupons, dtype=np.int64)
+        for world_index in world_indices:
+            yield self._kernel_world_instrumented(
+                world_index, seeds_arr, coupons_arr
+            )
+
+    def _kernel_world_instrumented(
+        self, world_index: int, seeds_arr: np.ndarray, coupons_arr: np.ndarray
+    ) -> Tuple[List[int], List[int]]:
+        """One world's instrumented cascade on the native kernel."""
+        block, slot = self._world_slot(world_index)
+        self._kernel_stamp += 1
+        queue_length, limited_length = self._kernel.cascade_world_instrumented(
+            block.targets,
+            block.offsets[slot],
+            seeds_arr,
+            coupons_arr,
+            self._kernel_visited,
+            self._kernel_stamp,
+            self._kernel_queue,
+            self._kernel_limited,
+        )
+        return (
+            self._kernel_queue[:queue_length].tolist(),
+            self._kernel_limited[:limited_length].tolist(),
+        )
+
+    def _interpreted_world_instrumented(
+        self, world_index: int, seed_indices: List[int], coupons: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """One world's instrumented cascade on the interpreted oracle loop."""
         self._stamp += 1
         stamp = self._stamp
         visited = self._visited
-        targets, offsets = self.world(world_index)
+        block, slot = self._world_slot(world_index)
+        targets, offsets_rows = block.lists()
+        offsets = offsets_rows[slot]
 
         queue: List[int] = []
         limited: List[int] = []
@@ -492,6 +688,8 @@ class CompiledCascadeEngine:
         self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
     ) -> np.ndarray:
         """Shard-by-shard in-process evaluation; returns activation counts."""
+        if self._kernel is not None:
+            return self._run_serial_kernel(seed_indices, coupon_items)
         coupons = self._coupons
         for position, count in coupon_items:
             coupons[position] = count
@@ -504,10 +702,9 @@ class CompiledCascadeEngine:
         self._stamp = stamp + self.num_worlds
         counts = np.zeros(self.compiled.num_nodes, dtype=np.int64)
         try:
-            for _, _, targets_block, offsets_block in self.world_blocks():
+            for _, _, block in self.world_blocks():
                 flat_activations, stamp = cascade_block(
-                    targets_block, offsets_block, seed_indices, coupons,
-                    visited, stamp,
+                    block, seed_indices, coupons, visited, stamp,
                 )
                 counts += np.bincount(
                     np.asarray(flat_activations, dtype=np.int64),
@@ -515,6 +712,36 @@ class CompiledCascadeEngine:
                 )
         finally:
             # Always restore the coupon buffer, even on interruption.
+            for position, _ in coupon_items:
+                coupons[position] = 0
+        return counts
+
+    def _run_serial_kernel(
+        self, seed_indices: List[int], coupon_items: List[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Kernel-dispatched serial evaluation, bit-identical to interpreted.
+
+        The kernel accumulates each world's activation queue straight into
+        the integer count vector — the same integers the interpreted path
+        derives via ``np.bincount`` over the flat activation list.
+        """
+        coupons = self._kernel_coupons
+        for position, count in coupon_items:
+            coupons[position] = count
+        seeds_arr = np.asarray(seed_indices, dtype=np.int32)
+
+        stamp = self._kernel_stamp
+        # Reserve the stamp range up front, mirroring the interpreted path.
+        self._kernel_stamp = stamp + self.num_worlds
+        counts = np.zeros(self.compiled.num_nodes, dtype=np.int64)
+        kernel = self._kernel
+        try:
+            for _, _, block in self.world_blocks():
+                stamp = kernel.cascade_block(
+                    block.targets, block.offsets, seeds_arr, coupons,
+                    self._kernel_visited, stamp, self._kernel_queue, counts,
+                )
+        finally:
             for position, _ in coupon_items:
                 coupons[position] = 0
         return counts
@@ -530,6 +757,7 @@ class CompiledCascadeEngine:
                 workers=self.workers,
                 start_method=self._start_method,
                 pool=self.pool,
+                use_kernel=self._kernel is not None,
             )
         return self._executor
 

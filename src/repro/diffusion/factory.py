@@ -44,6 +44,7 @@ def make_estimator(
     workers: Optional[int] = None,
     pool=None,
     pipeline_depth: Optional[int] = None,
+    use_kernel: Optional[bool] = None,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -85,6 +86,12 @@ def make_estimator(
         (:meth:`~repro.diffusion.monte_carlo.MonteCarloEstimator.submit_many`);
         ``None`` derives ``max(2, 2 * workers)``.  Bit-identical results for
         any value (compiled Monte-Carlo backend only).
+    use_kernel:
+        Native cascade kernel dispatch (:mod:`repro.diffusion.kernels`):
+        ``None`` auto-detects with silent interpreted fallback, ``True``
+        warns on fallback, ``False`` forces the interpreted oracle.
+        Bit-identical estimates either way (compiled Monte-Carlo backend
+        only).
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -103,6 +110,7 @@ def make_estimator(
             workers=workers,
             pool=pool,
             pipeline_depth=pipeline_depth,
+            use_kernel=use_kernel,
         )
     if method == "mc":
         return MonteCarloEstimator(

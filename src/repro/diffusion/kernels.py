@@ -1,0 +1,522 @@
+"""Native cascade kernels over flat world-block arrays.
+
+The cascade inner loop — walk a FIFO queue of coupon holders over one world's
+live adjacency, redeeming on not-yet-active targets until the coupons run out
+— is the single hottest code path in the library: every layer above it (the
+delta snapshot engine, the CELF queue, the shard pool, the batched evaluation
+scheduler) ultimately funnels into it once per world per evaluation.  This
+module provides *compiled* implementations of that loop operating on the flat
+contiguous arrays of :class:`~repro.diffusion.engine.FlatWorldBlock`:
+
+``numba``
+    :func:`numba.njit`-compiled kernels, used whenever numba is importable.
+    The JIT is warmed on a one-world dummy block at engine construction (see
+    :meth:`CascadeKernel.warm`) so first-evaluation latency never skews CELF
+    pivot-queue timings or benchmarks.
+``cc``
+    A C translation of the same loops, compiled once with the system C
+    compiler (``cc``/``gcc``/``clang``) into a content-addressed shared
+    library under ``~/.cache/repro-kernels`` and loaded through
+    :mod:`ctypes`.  Used when numba is absent but a compiler is present —
+    the common case in slim containers.
+``None``
+    Neither backend available (or ``REPRO_NO_NATIVE_KERNEL`` set): callers
+    fall back to the interpreted loops in :mod:`repro.diffusion.engine`,
+    which remain the bit-identity *oracle* the compiled kernels are tested
+    against.
+
+Both backends implement the exact semantics of the interpreted
+``cascade_block`` / ``cascade_world_instrumented`` pair — same FIFO order,
+same redemption bookkeeping, same coupon-limited flags — so activation
+queues, counts and benefits are **bit-identical** whichever path runs; the
+parity suite (``tests/properties/test_kernel_parity.py``) and the benchmark
+gates enforce that.
+
+All kernels share one calling convention (flat int arrays only, no Python
+objects in the hot path):
+
+* ``targets`` — int32, the block's concatenated live-edge targets;
+* ``offsets`` — int64, per-world rows of ``num_nodes + 1`` *absolute*
+  indices into ``targets`` (a 2-D array for block kernels, one row for the
+  single-world instrumented kernel);
+* ``seeds`` — int32 deduplicated seed indices in canonical order;
+* ``coupons`` — int64 dense per-node coupon vector;
+* ``visited`` — int64 stamp-versioned scratch (caller owns the stamp);
+* ``queue`` / ``limited`` — int32 preallocated FIFO / limited-flag buffers
+  of ``num_nodes`` entries;
+* ``counts`` — int64 activation-count accumulator (block kernel only).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Setting this environment variable (to any non-empty value) disables both
+#: native backends — the engine then runs the interpreted oracle.  This is
+#: how CI's "no-numba" leg and the forced-fallback tests exercise the
+#: degradation path deterministically.
+DISABLE_ENV = "REPRO_NO_NATIVE_KERNEL"
+
+#: Override for where the C backend caches its compiled shared library.
+CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Both functions are line-for-line translations of the interpreted
+ * cascade loops in repro/diffusion/engine.py (cascade_block and
+ * CompiledCascadeEngine.cascade_world_instrumented).  Any semantic change
+ * there must be mirrored here and in the numba kernels — the parity suite
+ * fails otherwise. */
+
+int64_t repro_cascade_block(
+    const int32_t *targets,
+    const int64_t *offsets,      /* num_worlds x (num_nodes + 1), absolute */
+    int64_t num_nodes,
+    int64_t num_worlds,
+    const int32_t *seeds,
+    int64_t num_seeds,
+    const int64_t *coupons,
+    int64_t *visited,
+    int64_t stamp,
+    int32_t *queue,
+    int64_t *counts)
+{
+    const int64_t stride = num_nodes + 1;
+    for (int64_t w = 0; w < num_worlds; ++w) {
+        stamp += 1;
+        const int64_t *off = offsets + w * stride;
+        int64_t qlen = 0;
+        for (int64_t s = 0; s < num_seeds; ++s) {
+            const int32_t seed = seeds[s];
+            visited[seed] = stamp;
+            queue[qlen++] = seed;
+        }
+        int64_t head = 0;
+        while (head < qlen) {
+            const int32_t user = queue[head++];
+            int64_t remaining = coupons[user];
+            if (remaining <= 0) continue;
+            const int64_t low = off[user];
+            const int64_t high = off[user + 1];
+            for (int64_t pos = low; pos < high; ++pos) {
+                const int32_t neighbor = targets[pos];
+                if (visited[neighbor] == stamp) continue;
+                visited[neighbor] = stamp;
+                queue[qlen++] = neighbor;
+                if (--remaining <= 0) break;
+            }
+        }
+        for (int64_t q = 0; q < qlen; ++q) counts[queue[q]] += 1;
+    }
+    return stamp;
+}
+
+void repro_cascade_world_instrumented(
+    const int32_t *targets,
+    const int64_t *off,          /* one world's num_nodes + 1 row, absolute */
+    const int32_t *seeds,
+    int64_t num_seeds,
+    const int64_t *coupons,
+    int64_t *visited,
+    int64_t stamp,
+    int32_t *queue,
+    int32_t *limited,
+    int64_t *out_lens)           /* [queue length, limited length] */
+{
+    int64_t qlen = 0;
+    int64_t llen = 0;
+    for (int64_t s = 0; s < num_seeds; ++s) {
+        const int32_t seed = seeds[s];
+        visited[seed] = stamp;
+        queue[qlen++] = seed;
+    }
+    int64_t head = 0;
+    while (head < qlen) {
+        const int32_t user = queue[head++];
+        int64_t remaining = coupons[user];
+        const int64_t low = off[user];
+        const int64_t high = off[user + 1];
+        if (remaining <= 0) {
+            if (low < high) limited[llen++] = user;
+            continue;
+        }
+        if (low == high) continue;
+        for (int64_t pos = low; pos < high; ++pos) {
+            const int32_t neighbor = targets[pos];
+            if (visited[neighbor] == stamp) continue;
+            visited[neighbor] = stamp;
+            queue[qlen++] = neighbor;
+            if (--remaining <= 0) {
+                if (pos < high - 1) limited[llen++] = user;
+                break;
+            }
+        }
+    }
+    out_lens[0] = qlen;
+    out_lens[1] = llen;
+}
+"""
+
+
+def _import_numba():
+    """Import hook isolated so tests can monkeypatch an ImportError."""
+    import numba  # noqa: F401  (numba's presence is the decision)
+
+    return numba
+
+
+def _make_numba_kernels():
+    """Build the ``@njit`` kernel pair; raises when numba is unusable."""
+    numba = _import_numba()
+    njit = numba.njit
+
+    @njit(cache=True, nogil=True)
+    def cascade_block_njit(
+        targets, offsets, seeds, coupons, visited, stamp, queue, counts
+    ):
+        num_worlds = offsets.shape[0]
+        for w in range(num_worlds):
+            stamp += 1
+            off = offsets[w]
+            qlen = 0
+            for s in range(seeds.shape[0]):
+                seed = seeds[s]
+                visited[seed] = stamp
+                queue[qlen] = seed
+                qlen += 1
+            head = 0
+            while head < qlen:
+                user = queue[head]
+                head += 1
+                remaining = coupons[user]
+                if remaining <= 0:
+                    continue
+                low = off[user]
+                high = off[user + 1]
+                for pos in range(low, high):
+                    neighbor = targets[pos]
+                    if visited[neighbor] == stamp:
+                        continue
+                    visited[neighbor] = stamp
+                    queue[qlen] = neighbor
+                    qlen += 1
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+            for q in range(qlen):
+                counts[queue[q]] += 1
+        return stamp
+
+    @njit(cache=True, nogil=True)
+    def cascade_world_instrumented_njit(
+        targets, off, seeds, coupons, visited, stamp, queue, limited
+    ):
+        qlen = 0
+        llen = 0
+        for s in range(seeds.shape[0]):
+            seed = seeds[s]
+            visited[seed] = stamp
+            queue[qlen] = seed
+            qlen += 1
+        head = 0
+        while head < qlen:
+            user = queue[head]
+            head += 1
+            remaining = coupons[user]
+            low = off[user]
+            high = off[user + 1]
+            if remaining <= 0:
+                if low < high:
+                    limited[llen] = user
+                    llen += 1
+                continue
+            if low == high:
+                continue
+            for pos in range(low, high):
+                neighbor = targets[pos]
+                if visited[neighbor] == stamp:
+                    continue
+                visited[neighbor] = stamp
+                queue[qlen] = neighbor
+                qlen += 1
+                remaining -= 1
+                if remaining <= 0:
+                    if pos < high - 1:
+                        limited[llen] = user
+                        llen += 1
+                    break
+        return qlen, llen
+
+    return cascade_block_njit, cascade_world_instrumented_njit
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+def _find_compiler() -> Optional[str]:
+    from shutil import which
+
+    for candidate in ("cc", "gcc", "clang"):
+        path = which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _build_cc_library() -> Tuple[Optional[ctypes.CDLL], float]:
+    """Compile (or load the cached) C kernel library.
+
+    Returns ``(library, compile_seconds)`` — ``compile_seconds`` is 0.0 when
+    a previously compiled library was reused.  Any failure (no compiler,
+    compile error, unwritable cache) returns ``(None, 0.0)``; the caller
+    falls back to the interpreted path.
+    """
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = _cache_dir()
+    lib_path = cache_dir / f"cascade-{digest}.so"
+    compile_seconds = 0.0
+    if not lib_path.exists():
+        compiler = _find_compiler()
+        if compiler is None:
+            logger.debug("no C compiler found for the cascade kernel")
+            return None, 0.0
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            began = time.perf_counter()
+            with tempfile.TemporaryDirectory(dir=str(cache_dir)) as workdir:
+                source_path = Path(workdir) / "cascade.c"
+                object_path = Path(workdir) / "cascade.so"
+                source_path.write_text(_C_SOURCE, encoding="utf-8")
+                subprocess.run(
+                    [
+                        compiler, "-O3", "-shared", "-fPIC",
+                        "-o", str(object_path), str(source_path),
+                    ],
+                    check=True,
+                    capture_output=True,
+                )
+                # Atomic publish: concurrent builders race harmlessly.
+                os.replace(str(object_path), str(lib_path))
+            compile_seconds = time.perf_counter() - began
+        except (OSError, subprocess.CalledProcessError) as error:
+            logger.debug("cascade kernel C compile failed: %s", error)
+            return None, 0.0
+    try:
+        return ctypes.CDLL(str(lib_path)), compile_seconds
+    except OSError as error:  # corrupt cache entry, wrong arch, ...
+        logger.debug("cascade kernel library load failed: %s", error)
+        try:
+            lib_path.unlink()
+        except OSError:
+            pass
+        return None, 0.0
+
+
+class CascadeKernel:
+    """One resolved native backend: compiled cascade entry points + warm-up.
+
+    Instances are produced by :func:`load_kernel` (one per process) and are
+    shared by every engine and worker in the process; the entry points are
+    stateless, so sharing is safe.
+    """
+
+    def __init__(self, backend: str, block_fn, instrumented_fn) -> None:
+        self.backend = backend
+        self._block_fn = block_fn
+        self._instrumented_fn = instrumented_fn
+        self._warmed = False
+        #: Wall-clock seconds the one-off warm-up (JIT compilation for the
+        #: numba backend, shared-library compilation for the C backend)
+        #: cost in this process; 0.0 once warm or when a disk cache was hit.
+        self.compile_seconds = 0.0
+
+    # -- entry points --------------------------------------------------
+
+    def cascade_block(
+        self,
+        targets: np.ndarray,
+        offsets: np.ndarray,
+        seeds: np.ndarray,
+        coupons: np.ndarray,
+        visited: np.ndarray,
+        stamp: int,
+        queue: np.ndarray,
+        counts: np.ndarray,
+    ) -> int:
+        """Cascade every world of a flat block, accumulating ``counts``.
+
+        Returns the last stamp written into ``visited`` (one per world) —
+        the same contract as the interpreted
+        :func:`repro.diffusion.engine.cascade_block`.
+        """
+        return int(
+            self._block_fn(
+                targets, offsets, seeds, coupons, visited, stamp, queue, counts
+            )
+        )
+
+    def cascade_world_instrumented(
+        self,
+        targets: np.ndarray,
+        offsets_row: np.ndarray,
+        seeds: np.ndarray,
+        coupons: np.ndarray,
+        visited: np.ndarray,
+        stamp: int,
+        queue: np.ndarray,
+        limited: np.ndarray,
+    ) -> Tuple[int, int]:
+        """One world's instrumented cascade into ``queue`` / ``limited``.
+
+        Returns ``(queue_length, limited_length)``; the filled prefixes hold
+        exactly what the interpreted
+        :meth:`~repro.diffusion.engine.CompiledCascadeEngine.cascade_world_instrumented`
+        would have produced, in the same order.
+        """
+        qlen, llen = self._instrumented_fn(
+            targets, offsets_row, seeds, coupons, visited, stamp, queue, limited
+        )
+        return int(qlen), int(llen)
+
+    # -- warm-up -------------------------------------------------------
+
+    def warm(self) -> float:
+        """Compile/trigger both entry points on a one-world dummy block.
+
+        Engines call this at construction so the JIT cost lands before any
+        timed evaluation (CELF pivot-queue timings, benchmarks) instead of
+        inside the first one.  Idempotent per kernel instance; returns the
+        seconds this call spent (0.0 once warm).
+        """
+        if self._warmed:
+            return 0.0
+        began = time.perf_counter()
+        targets = np.array([1], dtype=np.int32)
+        offsets = np.array([[0, 1, 1]], dtype=np.int64)
+        seeds = np.array([0], dtype=np.int32)
+        coupons = np.array([1, 0], dtype=np.int64)
+        visited = np.zeros(2, dtype=np.int64)
+        queue = np.zeros(2, dtype=np.int32)
+        limited = np.zeros(2, dtype=np.int32)
+        counts = np.zeros(2, dtype=np.int64)
+        stamp = self.cascade_block(
+            targets, offsets, seeds, coupons, visited, 0, queue, counts
+        )
+        self.cascade_world_instrumented(
+            targets, offsets[0], seeds, coupons, visited, stamp + 1, queue, limited
+        )
+        elapsed = time.perf_counter() - began
+        self._warmed = True
+        self.compile_seconds += elapsed
+        return elapsed
+
+
+def _make_cc_kernel() -> Optional[CascadeKernel]:
+    library, compile_seconds = _build_cc_library()
+    if library is None:
+        return None
+    from numpy.ctypeslib import ndpointer
+
+    i32 = ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
+    i64 = ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+    c_i64 = ctypes.c_int64
+
+    library.repro_cascade_block.argtypes = [
+        i32, i64, c_i64, c_i64, i32, c_i64, i64, i64, c_i64, i32, i64,
+    ]
+    library.repro_cascade_block.restype = c_i64
+    library.repro_cascade_world_instrumented.argtypes = [
+        i32, i64, i32, c_i64, i64, i64, c_i64, i32, i32, i64,
+    ]
+    library.repro_cascade_world_instrumented.restype = None
+
+    block_raw = library.repro_cascade_block
+    instrumented_raw = library.repro_cascade_world_instrumented
+
+    def block_fn(targets, offsets, seeds, coupons, visited, stamp, queue, counts):
+        return block_raw(
+            targets, offsets, offsets.shape[1] - 1, offsets.shape[0],
+            seeds, seeds.shape[0], coupons, visited, stamp, queue, counts,
+        )
+
+    def instrumented_fn(
+        targets, offsets_row, seeds, coupons, visited, stamp, queue, limited
+    ):
+        out_lens = np.zeros(2, dtype=np.int64)
+        instrumented_raw(
+            targets, offsets_row, seeds, seeds.shape[0],
+            coupons, visited, stamp, queue, limited, out_lens,
+        )
+        return out_lens[0], out_lens[1]
+
+    kernel = CascadeKernel("cc", block_fn, instrumented_fn)
+    kernel.compile_seconds = compile_seconds
+    return kernel
+
+
+def _make_numba_kernel() -> Optional[CascadeKernel]:
+    try:
+        block_fn, instrumented_fn = _make_numba_kernels()
+    except Exception as error:  # ImportError, numba config errors, ...
+        logger.debug("numba cascade kernel unavailable: %s", error)
+        return None
+    return CascadeKernel("numba", block_fn, instrumented_fn)
+
+
+# Per-process kernel singleton: False = unresolved, None = resolved absent.
+_KERNEL: "CascadeKernel | None | bool" = False
+
+
+def native_disabled() -> bool:
+    """Whether ``REPRO_NO_NATIVE_KERNEL`` forces the interpreted path."""
+    return bool(os.environ.get(DISABLE_ENV))
+
+
+def load_kernel() -> Optional[CascadeKernel]:
+    """The process-wide native kernel, or ``None`` when unavailable.
+
+    Resolution order: numba (``@njit``) when importable, then the
+    C-compiler backend, then ``None``.  The result is cached for the life
+    of the process; tests use :func:`reset_kernel_cache` to re-resolve
+    after monkeypatching the backends.
+    """
+    global _KERNEL
+    if native_disabled():
+        return None
+    if _KERNEL is False:
+        kernel = _make_numba_kernel()
+        if kernel is None:
+            kernel = _make_cc_kernel()
+        if kernel is None:
+            logger.debug("no native cascade kernel backend available")
+        _KERNEL = kernel
+    return _KERNEL
+
+
+def kernel_backend() -> Optional[str]:
+    """Name of the resolved native backend (``"numba"``/``"cc"``/``None``)."""
+    kernel = load_kernel()
+    return kernel.backend if kernel is not None else None
+
+
+def reset_kernel_cache() -> None:
+    """Forget the resolved backend (test hook for forced-fallback suites)."""
+    global _KERNEL
+    _KERNEL = False

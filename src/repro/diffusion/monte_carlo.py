@@ -115,6 +115,13 @@ class MonteCarloEstimator(BenefitEstimator):
         ``max(2, 2 * workers)`` — wide enough to keep every worker busy,
         narrow enough to bound the parent's result buffering.  Any value
         produces bit-identical results; only throughput changes.
+    use_kernel:
+        Run the cascade inner loop on the native compiled kernel
+        (:mod:`repro.diffusion.kernels`).  ``None`` (default) uses the kernel
+        when a backend resolves and silently falls back to the interpreted
+        loop otherwise; ``True`` warns on fallback; ``False`` forces the
+        interpreted oracle path.  Estimates are bit-identical either way.
+        Compiled backend only.
     """
 
     def __init__(
@@ -130,6 +137,7 @@ class MonteCarloEstimator(BenefitEstimator):
         workers: Optional[int] = None,
         pool=None,
         pipeline_depth: Optional[int] = None,
+        use_kernel: Optional[bool] = None,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -149,6 +157,7 @@ class MonteCarloEstimator(BenefitEstimator):
             self._engine = CompiledCascadeEngine(
                 graph.compiled(), self.num_samples, seed,
                 shard_size=shard_size, workers=workers, pool=pool,
+                use_kernel=use_kernel,
             )
             if incremental:
                 self._delta = DeltaCascadeEngine(self._engine)
@@ -158,6 +167,15 @@ class MonteCarloEstimator(BenefitEstimator):
         self.shard_size = self._engine.shard_size if self._engine is not None else None
         self.workers = self._engine.workers if self._engine is not None else 1
         self.pool = self._engine.pool if self._engine is not None else None
+        engine = self._engine
+        #: Whether the native cascade kernel executes this estimator's worlds,
+        #: which backend resolved, and what warming its JIT cost (benchmark
+        #: instrumentation; all trivially False/None/0.0 on the dict backend).
+        self.kernel_active = engine.kernel_active if engine is not None else False
+        self.kernel_backend = engine.kernel_backend if engine is not None else None
+        self.kernel_compile_seconds = (
+            engine.kernel_compile_seconds if engine is not None else 0.0
+        )
         if pipeline_depth is not None:
             pipeline_depth = int(pipeline_depth)
             if pipeline_depth < 1:

@@ -63,6 +63,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.diffusion import kernels as _kernels
 from repro.diffusion.engine import BlockCache, WorldSampler, cascade_block
 from repro.exceptions import EstimationError
 
@@ -74,8 +75,8 @@ _WORKER_CACHE_BLOCKS = 4
 _BARRIER_TIMEOUT = 120.0
 
 #: One evaluation task: (sampler token, block index, start, count, seeds,
-#: sparse coupon items).
-Task = Tuple[int, int, int, int, List[int], List[Tuple[int, int]]]
+#: sparse coupon items, use-kernel flag).
+Task = Tuple[int, int, int, int, List[int], List[Tuple[int, int]], bool]
 
 #: Per-process worker state, keyed by sampler token.
 _WORKER_STATES: Dict[int, "_WorkerState"] = {}
@@ -106,6 +107,30 @@ class _WorkerState:
         self.coupons: List[int] = [0] * num_nodes
         self.stamp = 0
         self.cache = BlockCache(sampler, cache_blocks)
+        # Native-kernel resources, resolved lazily on the first kernel-tagged
+        # task so workers of a no-kernel engine never pay backend resolution.
+        # The kernel path keeps its own numpy-typed buffers and stamp stream;
+        # the two streams never touch each other's arrays.
+        self._kernel_resolved = False
+        self.kernel = None
+        self.kernel_visited: Optional[np.ndarray] = None
+        self.kernel_queue: Optional[np.ndarray] = None
+        self.kernel_coupons: Optional[np.ndarray] = None
+        self.kernel_stamp = 0
+
+    def kernel_or_none(self):
+        """The worker's native kernel, resolving (and warming) it on first use."""
+        if not self._kernel_resolved:
+            self._kernel_resolved = True
+            kernel = _kernels.load_kernel()
+            if kernel is not None:
+                kernel.warm()
+                num_nodes = self.sampler.compiled.num_nodes
+                self.kernel = kernel
+                self.kernel_visited = np.zeros(num_nodes, dtype=np.int64)
+                self.kernel_queue = np.empty(num_nodes, dtype=np.int32)
+                self.kernel_coupons = np.zeros(num_nodes, dtype=np.int64)
+        return self.kernel
 
 
 def _init_worker(barrier) -> None:
@@ -136,29 +161,51 @@ def evaluate_block_in_state(
     Returns ``(block_index, activation_counts)``.  This is the single
     evaluation routine shared by the real pool workers and the in-process
     fake pools the property tests inject, so the two paths cannot drift.
+    Tasks tagged ``use_kernel`` run the block on the worker's native cascade
+    kernel; a worker that cannot resolve a backend falls back to the
+    interpreted loop — the per-block counts are bit-identical either way.
     """
-    _, block_index, start, count, seed_indices, coupon_items = task
-    targets_block, offsets_block = state.cache.block(start, count)
+    _, block_index, start, count, seed_indices, coupon_items, use_kernel = task
+    block = state.cache.block(start, count)
+    num_nodes = state.sampler.compiled.num_nodes
+    kernel = state.kernel_or_none() if use_kernel else None
+    if kernel is not None:
+        coupons_arr = state.kernel_coupons
+        for position, coupon_count in coupon_items:
+            coupons_arr[position] = coupon_count
+        # Reserve the block's stamp range up front (mirroring the serial
+        # engine): if the kernel raises mid-block, the stamps it already
+        # wrote into `visited` must never be reused by a later task.
+        stamp = state.kernel_stamp
+        state.kernel_stamp = stamp + count
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        try:
+            kernel.cascade_block(
+                block.targets, block.offsets,
+                np.asarray(seed_indices, dtype=np.int32), coupons_arr,
+                state.kernel_visited, stamp, state.kernel_queue, counts,
+            )
+        finally:
+            for position, _ in coupon_items:
+                coupons_arr[position] = 0
+        return block_index, counts
     coupons = state.coupons
     for position, coupon_count in coupon_items:
         coupons[position] = coupon_count
-    # Reserve the block's stamp range up front (mirroring the serial
-    # engine): if cascade_block raises mid-block, the stamps it already
-    # wrote into `visited` must never be reused by a later task in this
-    # worker, or previously-visited nodes would look activated.
+    # Same up-front stamp-range reservation as above for the interpreted
+    # stamp stream.
     stamp = state.stamp
     state.stamp = stamp + count
     try:
         flat_activations, _ = cascade_block(
-            targets_block, offsets_block, seed_indices, coupons,
-            state.visited, stamp,
+            block, seed_indices, coupons, state.visited, stamp,
         )
     finally:
         for position, _ in coupon_items:
             coupons[position] = 0
     counts = np.bincount(
         np.asarray(flat_activations, dtype=np.int64),
-        minlength=state.sampler.compiled.num_nodes,
+        minlength=num_nodes,
     )
     return block_index, counts
 
@@ -374,7 +421,13 @@ class ShardExecutor:
         start_method: Optional[str] = None,
         cache_blocks: int = _WORKER_CACHE_BLOCKS,
         pool: Optional[SharedShardPool] = None,
+        use_kernel: bool = False,
     ) -> None:
+        #: Whether this executor's tasks ask workers for the native kernel.
+        #: Per-task (not per-pool) so estimators with different settings can
+        #: share one pool; a worker without a resolvable backend falls back
+        #: to the interpreted loop with identical counts.
+        self.use_kernel = bool(use_kernel)
         self._blocks: List[Tuple[int, int]] = [
             (start, min(shard_size, num_worlds - start))
             for start in range(0, num_worlds, shard_size)
@@ -421,7 +474,10 @@ class ShardExecutor:
         if self._closed:
             raise EstimationError("ShardExecutor is closed")
         tasks: List[Task] = [
-            (self._token, block_index, start, count, seed_indices, coupon_items)
+            (
+                self._token, block_index, start, count,
+                seed_indices, coupon_items, self.use_kernel,
+            )
             for block_index, (start, count) in enumerate(self._blocks)
         ]
         iterator = self.pool.imap_unordered(tasks)

@@ -69,6 +69,12 @@ class ExperimentConfig:
     #: ``max(2, 2 * workers)``.  Results are bit-identical for any value —
     #: only throughput changes.
     pipeline_depth: Optional[int] = None
+    #: Native cascade kernel dispatch (:mod:`repro.diffusion.kernels`):
+    #: ``None`` auto-detects a compiled backend with silent interpreted
+    #: fallback, ``True`` warns on fallback, ``False`` forces the interpreted
+    #: oracle loop.  Results are bit-identical either way — only speed
+    #: changes.
+    use_kernel: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.estimator_method not in ESTIMATOR_METHODS:

@@ -96,6 +96,7 @@ class ExperimentRunner:
                 workers=self.config.workers,
                 pool=pool,
                 pipeline_depth=self.config.pipeline_depth,
+                use_kernel=self.config.use_kernel,
             )
         self.estimator = estimator
 

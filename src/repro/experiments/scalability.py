@@ -94,6 +94,7 @@ def measure_s3ca(
         workers=config.workers,
         pool=pool,
         pipeline_depth=config.pipeline_depth,
+        use_kernel=config.use_kernel,
     )
     try:
         algorithm = S3CA(
