@@ -10,10 +10,20 @@ Regenerates the two sweeps of Fig. 9:
 Expected shapes (paper): under a fixed budget the explored *ratio* falls as
 the network grows (S3CA stops exploring when the budget runs out), while both
 the running time and the explored ratio grow with the budget.
+
+PR 7 adds the scale-up point the paper's figure actually covers and the toy
+sweeps cannot: a ≥100k-node SNAP-format graph pushed through the streaming
+loader + memmap cache and the zero-copy shared-memory transport
+(``test_fig9_scale_up_snap``), recording broadcast payload bytes and attach
+latency at that scale (``REPRO_BENCH_FIG9_SCALE_NODES`` to resize).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+
+import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_SAMPLES, BENCH_SEED
@@ -24,11 +34,14 @@ from repro.experiments.scalability import (
     sweep_network_size,
     sweep_scalability_budget,
 )
+from repro.utils.timer import Timer
 
 SIZES = [60, 120, 200]
 BUDGETS = [40.0, 80.0, 160.0]
 FIXED_BUDGET = 60.0
 FIXED_SIZE = 100
+SCALE_NODES = int(os.environ.get("REPRO_BENCH_FIG9_SCALE_NODES", "100000"))
+SCALE_SAMPLES = int(os.environ.get("REPRO_BENCH_FIG9_SCALE_SAMPLES", "4"))
 
 
 @pytest.fixture(scope="module")
@@ -71,3 +84,106 @@ def test_fig9_budget_sweep(benchmark, report, scal_config):
     assert [row["budget"] for row in rows] == BUDGETS
     # More budget explores at least as much of the network.
     assert rows[-1]["explored_ratio"] >= rows[0]["explored_ratio"] - 0.1
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_scale_up_snap(report, tmp_path):
+    """The ≥100k-node point: SNAP ingest → memmap cache → zero-copy engine.
+
+    The toy sweeps above reproduce Fig. 9's *shapes*; this point shows the
+    stack standing at the paper's actual scale — a 100k-node graph loads
+    through the content-addressed cache, the estimation engine runs on it,
+    and broadcasting it to a worker costs a descriptor, not the arrays.
+    """
+    from repro.diffusion.engine import CompiledCascadeEngine
+    from repro.graph.io import load_compiled_snap
+    from repro.utils import shm
+
+    if not shm.shared_memory_available():
+        pytest.skip("POSIX shared memory is unavailable on this platform")
+
+    rng = np.random.default_rng(BENCH_SEED)
+    num_random = SCALE_NODES * 5
+    ring = np.arange(SCALE_NODES)  # guarantees every id appears
+    sources = np.concatenate(
+        [rng.integers(0, SCALE_NODES, size=num_random), ring]
+    )
+    targets = np.concatenate(
+        [rng.integers(0, SCALE_NODES, size=num_random), (ring + 1) % SCALE_NODES]
+    )
+    num_edges = len(sources)
+    probs = np.round(rng.random(num_edges) * 0.2, 4)
+    edges_path = tmp_path / "fig9-scale.txt"
+    with edges_path.open("w", encoding="utf-8") as handle:
+        handle.write("# fig9 scale-up point\n")
+        for start in range(0, num_edges, 200_000):
+            block = slice(start, start + 200_000)
+            handle.write(
+                "\n".join(
+                    f"{s} {t} {p}"
+                    for s, t, p in zip(
+                        sources[block], targets[block], probs[block]
+                    )
+                )
+                + "\n"
+            )
+
+    cache_dir = tmp_path / "cache"
+    with Timer() as cold_timer:
+        load_compiled_snap(edges_path, cache_dir=cache_dir)
+    with Timer() as warm_timer:
+        compiled = load_compiled_snap(edges_path, cache_dir=cache_dir)
+    assert compiled.num_nodes >= 100_000
+
+    engine = CompiledCascadeEngine(
+        compiled, SCALE_SAMPLES, seed=BENCH_SEED, shard_size=SCALE_SAMPLES,
+        shared_memory=True,
+    )
+    try:
+        by_value = CompiledCascadeEngine(
+            compiled, SCALE_SAMPLES, seed=BENCH_SEED,
+            shard_size=SCALE_SAMPLES, shared_memory=False,
+        )
+        payload = pickle.dumps(engine.sampler, protocol=pickle.HIGHEST_PROTOCOL)
+        private_bytes = len(
+            pickle.dumps(by_value.sampler, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        by_value.close()
+        with Timer() as attach_timer:
+            clone = pickle.loads(payload)
+        assert np.array_equal(clone.compiled.indices[:64], compiled.indices[:64])
+        del clone
+
+        # One full estimation pass at 100k nodes: heaviest spreaders seeded.
+        out_degrees = np.diff(np.asarray(compiled.indptr))
+        top = np.argsort(out_degrees)[-3:]
+        seeds = [compiled.node_ids[int(index)] for index in top]
+        with Timer() as eval_timer:
+            engine.run(seeds, {seeds[0]: 1, seeds[1]: 1})
+    finally:
+        engine.close()
+
+    row = {
+        "nodes": compiled.num_nodes,
+        "edges": compiled.num_edges,
+        "cold_ingest_seconds": round(cold_timer.elapsed, 2),
+        "warm_ingest_seconds": round(warm_timer.elapsed, 4),
+        "broadcast_bytes_private": private_bytes,
+        "broadcast_bytes_shared": len(payload),
+        "broadcast_reduction": round(private_bytes / len(payload), 1),
+        "graph_attach_ms": round(attach_timer.elapsed * 1e3, 3),
+        "eval_seconds_at_scale": round(eval_timer.elapsed, 3),
+        "worlds": SCALE_SAMPLES,
+    }
+    report(
+        "fig9_scale_up",
+        format_table(
+            [row],
+            title=(
+                f"Fig. 9 scale-up — {SCALE_NODES}-node SNAP graph through "
+                f"the memmap cache and zero-copy transport"
+            ),
+        ),
+    )
+    assert row["warm_ingest_seconds"] < row["cold_ingest_seconds"]
+    assert row["broadcast_reduction"] >= 100

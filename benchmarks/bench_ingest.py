@@ -1,0 +1,165 @@
+"""Million-scale SNAP edge-list ingestion: streaming compile + memmap cache.
+
+PR 7's loader streams a SNAP-style edge list in bounded chunks straight into
+the compiled CSR form, then persists every array under a content-addressed
+cache key so the next run memory-maps the arrays instead of re-parsing the
+text.  This benchmark generates a synthetic edge list of at least 100k nodes
+(preferential-attachment shaped, so the degree distribution is heavy-tailed
+like real SNAP graphs), then measures:
+
+* **cold ingest** — parse + compile + cache store, end to end;
+* **warm ingest** — content-hash the source, memory-map the cached arrays;
+  the gate requires it to be at least ``MIN_WARM_SPEEDUP``x faster;
+* **identity** — the warm graph's arrays must be bit-identical to a fresh
+  in-memory compile; speed that changes the graph is a bug, not a feature.
+
+The measured points are appended to ``BENCH_ingest.json`` at the repository
+root, so successive runs accumulate a performance trajectory.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_INGEST_NODES``
+    Node count of the generated edge list (default ``120000``; the
+    acceptance floor is the 100k-node regime).
+``REPRO_BENCH_INGEST_AVG_DEGREE``
+    Average out-degree of the generated edge list (default ``8``).
+``REPRO_BENCH_INGEST_MIN_WARM_SPEEDUP``
+    Gate on cold-ingest seconds / warm-ingest seconds (default ``10``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments.reporting import format_table
+from repro.graph.io import load_compiled_snap, load_snap_graph, snap_cache_path
+from repro.utils.timer import Timer
+
+NUM_NODES = int(os.environ.get("REPRO_BENCH_INGEST_NODES", "120000"))
+AVG_DEGREE = int(os.environ.get("REPRO_BENCH_INGEST_AVG_DEGREE", "8"))
+MIN_WARM_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_INGEST_MIN_WARM_SPEEDUP", "10")
+)
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+FIELDS = ("indptr", "indices", "probs", "edge_pos")
+
+
+def _write_snap_file(path: Path) -> int:
+    """A heavy-tailed random edge list in SNAP's text shape; returns #lines.
+
+    Targets are drawn from earlier edge endpoints with probability 1/2
+    (preferential attachment), uniformly otherwise — a cheap stand-in for the
+    degree skew of real SNAP graphs.  A comment header, duplicate edges and
+    the occasional self-loop exercise the loader's real-input paths at scale.
+    """
+    rng = np.random.default_rng(BENCH_SEED)
+    num_edges = NUM_NODES * AVG_DEGREE
+    sources = rng.integers(0, NUM_NODES, size=num_edges)
+    uniform = rng.integers(0, NUM_NODES, size=num_edges)
+    # Preferential half: re-use endpoints of earlier edges (index < current).
+    recycled = sources[rng.integers(0, num_edges, size=num_edges)]
+    targets = np.where(rng.random(num_edges) < 0.5, recycled, uniform)
+    probs = np.round(rng.random(num_edges), 4)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# synthetic SNAP-shaped edge list for bench_ingest\n")
+        handle.write(f"# nodes ~{NUM_NODES} edges {num_edges}\n")
+        for block_start in range(0, num_edges, 100_000):
+            block = slice(block_start, block_start + 100_000)
+            lines = np.char.add(
+                np.char.add(
+                    np.char.add(sources[block].astype("U12"), "\t"),
+                    np.char.add(targets[block].astype("U12"), "\t"),
+                ),
+                probs[block].astype("U8"),
+            )
+            handle.write("\n".join(lines.tolist()) + "\n")
+    return num_edges
+
+
+def _append_trajectory(point):
+    data = {"benchmark": "snap_ingest", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        try:
+            loaded = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable: start a fresh trajectory
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "requested_nodes": NUM_NODES,
+            "avg_degree": AVG_DEGREE,
+            **point,
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_snap_ingest_cold_vs_warm(report, tmp_path):
+    edges_path = tmp_path / "snap-bench.txt"
+    cache_dir = tmp_path / "graph-cache"
+    num_lines = _write_snap_file(edges_path)
+    file_mb = edges_path.stat().st_size / 1e6
+
+    with Timer() as cold_timer:
+        cold = load_compiled_snap(edges_path, cache_dir=cache_dir)
+    assert (snap_cache_path(edges_path, cache_dir=cache_dir) / "meta.json").exists()
+
+    with Timer() as warm_timer:
+        warm = load_compiled_snap(edges_path, cache_dir=cache_dir)
+    assert isinstance(warm.indptr, np.memmap)
+
+    # Identity: the memmapped arrays must match a fresh in-memory compile.
+    fresh = load_snap_graph(edges_path)
+    for field in FIELDS:
+        assert np.array_equal(
+            np.asarray(getattr(warm, field)), np.asarray(getattr(fresh, field))
+        ), field
+    assert np.array_equal(np.asarray(cold.indptr), np.asarray(fresh.indptr))
+
+    speedup = (
+        cold_timer.elapsed / warm_timer.elapsed
+        if warm_timer.elapsed
+        else float("inf")
+    )
+    point = {
+        "nodes": fresh.num_nodes,
+        "edges": fresh.num_edges,
+        "edge_list_lines": num_lines,
+        "file_mb": round(file_mb, 1),
+        "cold_seconds": round(cold_timer.elapsed, 3),
+        "warm_seconds": round(warm_timer.elapsed, 4),
+        "warm_speedup": round(speedup, 1),
+        "cold_mlines_per_sec": round(num_lines / cold_timer.elapsed / 1e6, 2),
+    }
+    report(
+        "snap_ingest",
+        format_table(
+            [point],
+            title=(
+                f"SNAP ingest: cold parse+compile+store vs warm memmap "
+                f"(gate {MIN_WARM_SPEEDUP}x)"
+            ),
+        ),
+    )
+    _append_trajectory(point)
+
+    assert fresh.num_nodes >= 100_000, (
+        f"generated graph has only {fresh.num_nodes} nodes; the benchmark "
+        f"must cover the 100k-node regime (REPRO_BENCH_INGEST_NODES too low?)"
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache load is only {speedup:.1f}x faster than the cold "
+        f"ingest ({warm_timer.elapsed:.3f}s vs {cold_timer.elapsed:.3f}s), "
+        f"below the {MIN_WARM_SPEEDUP}x bar"
+    )

@@ -47,16 +47,28 @@ Environment knobs (all optional):
 ``REPRO_BENCH_PARALLEL_MAX_MEM_RATIO``
     Gate on sharded peak memory as a fraction of the monolithic peak
     (default ``0.7``).
+``REPRO_BENCH_PARALLEL_MIN_BROADCAST_RATIO``
+    Gate on the zero-copy broadcast payload reduction (private-copy bytes /
+    shared-memory bytes) on graphs of at least 2000 nodes (default ``100``).
+    Measured from the exact pickle that travels to each worker, so it needs
+    no second core and is enforced on every machine.
+``REPRO_BENCH_PARALLEL_MIN_SHM_THROUGHPUT``
+    Gate on pool throughput with shared-memory transport as a fraction of
+    the private-copy pool throughput (default ``0.9``).  Like the speedup
+    gate it is only enforced with at least two usable cores.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
+import pickle
 import time
 import tracemalloc
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_SEED
@@ -74,6 +86,12 @@ REQUESTED_WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
 NUM_EVALS = int(os.environ.get("REPRO_BENCH_PARALLEL_EVALS", "20"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PARALLEL_MIN_SPEEDUP", "2.0"))
 MAX_MEM_RATIO = float(os.environ.get("REPRO_BENCH_PARALLEL_MAX_MEM_RATIO", "0.7"))
+MIN_BROADCAST_RATIO = float(
+    os.environ.get("REPRO_BENCH_PARALLEL_MIN_BROADCAST_RATIO", "100")
+)
+MIN_SHM_THROUGHPUT = float(
+    os.environ.get("REPRO_BENCH_PARALLEL_MIN_SHM_THROUGHPUT", "0.9")
+)
 SHARD_SIZE = max(1, NUM_SAMPLES // 8)
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
@@ -169,7 +187,9 @@ def _peak_memory(compiled, shard_size, deployment):
     return peak
 
 
-def _append_trajectory(points, effective_workers, parallel_skip_reason):
+def _append_trajectory(
+    points, effective_workers=None, parallel_skip_reason=None, kind="throughput"
+):
     data = {"benchmark": "parallel_estimation", "runs": []}
     if TRAJECTORY_PATH.exists():
         try:
@@ -181,6 +201,7 @@ def _append_trajectory(points, effective_workers, parallel_skip_reason):
     data["runs"].append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "kind": kind,
             "num_samples": NUM_SAMPLES,
             "shard_size": SHARD_SIZE,
             "requested_workers": REQUESTED_WORKERS,
@@ -235,16 +256,35 @@ def test_parallel_estimation_throughput_and_memory(report):
         }
 
         if parallel_skip_reason is None:
-            # Both parallel measurements (sequential and pipelined
-            # submission) register on ONE shared pool — the configuration
-            # every layer above now runs in.
+            # All parallel measurements register on ONE shared pool — the
+            # configuration every layer above now runs in.  The private-copy
+            # transport leg (``shared_memory=False``) runs first, then the
+            # zero-copy leg, so one run records the broadcast payload and
+            # throughput both before and after the shared-memory store.
             with SharedShardPool(effective_workers) as pool:
+                private = CompiledCascadeEngine(
+                    compiled, NUM_SAMPLES, seed=BENCH_SEED,
+                    shard_size=SHARD_SIZE, pool=pool, shared_memory=False,
+                )
+                try:
+                    private.expected_benefit(*deployments[0])  # warm + register
+                    private_broadcast_bytes = pool.last_broadcast_bytes
+                    private_broadcast_seconds = pool.last_broadcast_seconds
+                    private_benefits, private_rate, _ = _throughput(
+                        private, deployments
+                    )
+                finally:
+                    private.close()
+
                 parallel = CompiledCascadeEngine(
                     compiled, NUM_SAMPLES, seed=BENCH_SEED,
                     shard_size=SHARD_SIZE, pool=pool,
                 )
+                assert parallel.shared_memory  # auto-on when out-of-process
                 try:
                     parallel.expected_benefit(*deployments[0])  # warm the pool
+                    shared_broadcast_bytes = pool.last_broadcast_bytes
+                    shared_broadcast_seconds = pool.last_broadcast_seconds
                     parallel_benefits, parallel_rate, seq_idle = _throughput(
                         parallel, deployments
                     )
@@ -258,6 +298,7 @@ def test_parallel_estimation_throughput_and_memory(report):
                 assert not pool.closed  # the engine released only its sampler
 
             # Parity is the contract; speed without it is worthless.
+            assert private_benefits == serial_benefits
             assert parallel_benefits == serial_benefits
             assert pipelined_benefits == serial_benefits
             point.update(
@@ -267,6 +308,14 @@ def test_parallel_estimation_throughput_and_memory(report):
                 pipeline_speedup=round(pipelined_rate / parallel_rate, 2),
                 parent_idle_frac_sequential=round(seq_idle, 3),
                 parent_idle_frac_pipelined=round(pipe_idle, 3),
+                pool_broadcast_bytes_private=private_broadcast_bytes,
+                pool_broadcast_bytes_shared=shared_broadcast_bytes,
+                pool_broadcast_reduction=round(
+                    private_broadcast_bytes / max(1, shared_broadcast_bytes), 1
+                ),
+                pool_broadcast_seconds_private=round(private_broadcast_seconds, 6),
+                pool_broadcast_seconds_shared=round(shared_broadcast_seconds, 6),
+                shm_vs_private_throughput=round(parallel_rate / private_rate, 2),
             )
 
         mono_peak = _peak_memory(compiled, None, deployments[0])
@@ -301,3 +350,97 @@ def test_parallel_estimation_throughput_and_memory(report):
             f"({largest['nodes']} nodes) is {largest['speedup']:.2f}x, below "
             f"the {MIN_SPEEDUP}x bar"
         )
+        assert largest["shm_vs_private_throughput"] >= MIN_SHM_THROUGHPUT, (
+            f"shared-memory pool throughput is "
+            f"{largest['shm_vs_private_throughput']:.2f}x the private-copy "
+            f"pool on the largest graph, below the {MIN_SHM_THROUGHPUT}x bar"
+        )
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_zero_copy_broadcast_payload(report):
+    """Worker broadcast payload: shared-memory descriptor vs by-value arrays.
+
+    Measures the exact pickle :meth:`SharedShardPool.register` ships to every
+    worker — ``(token, sampler, cache_blocks)``'s dominant term, the sampler —
+    for the private-copy and the zero-copy transport, plus what a worker pays
+    to come up: unpickling the descriptor (which maps the graph segment) and
+    attaching the already-published world blocks.  None of this needs a
+    second core, so the ≥``MIN_BROADCAST_RATIO``x reduction gate runs on
+    every machine, including single-core boxes where the throughput legs
+    skip.
+    """
+    from repro.utils import shm
+
+    if not shm.shared_memory_available():
+        pytest.skip("POSIX shared memory is unavailable on this platform")
+
+    rows = []
+    points = []
+    for size in SIZES:
+        scenario = synthetic_scenario(size, budget=2.0 * size, seed=BENCH_SEED)
+        compiled = scenario.graph.compiled()
+        deployment = _deployments(scenario, 1)[0]
+
+        private = CompiledCascadeEngine(
+            compiled, NUM_SAMPLES, seed=BENCH_SEED, shard_size=SHARD_SIZE,
+            shared_memory=False,
+        )
+        shared = CompiledCascadeEngine(
+            compiled, NUM_SAMPLES, seed=BENCH_SEED, shard_size=SHARD_SIZE,
+            shared_memory=True,
+        )
+        try:
+            private_bytes = len(
+                pickle.dumps(private.sampler, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            shared_payload = pickle.dumps(
+                shared.sampler, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            # Publish every world block, exactly as the parent does before
+            # workers start drawing.
+            benefit_parent = shared.expected_benefit(*deployment)
+
+            # Simulate one worker coming up: unpickle the descriptor (maps
+            # the graph segment) and draw the first block (attaches it).
+            with Timer() as unpickle_timer:
+                clone = pickle.loads(shared_payload)
+            assert np.array_equal(clone.compiled.indptr, compiled.indptr)
+            start, count = shared._store_bounds[0]
+            clone.draw_block(start, count)
+            assert clone.store.attach_count >= 1  # re-used, not re-drawn
+            attach_seconds = clone.store.attach_seconds
+            del clone
+        finally:
+            private.close()
+            shared.close()
+        serial = CompiledCascadeEngine(compiled, NUM_SAMPLES, seed=BENCH_SEED)
+        assert benefit_parent == serial.expected_benefit(*deployment)
+        gc.collect()
+
+        point = {
+            "nodes": size,
+            "edges": scenario.num_edges,
+            "broadcast_bytes_private": private_bytes,
+            "broadcast_bytes_shared": len(shared_payload),
+            "broadcast_reduction": round(private_bytes / len(shared_payload), 1),
+            "graph_attach_ms": round(unpickle_timer.elapsed * 1e3, 3),
+            "block_attach_ms": round(attach_seconds * 1e3, 3),
+        }
+        points.append(point)
+        rows.append(point)
+
+    title = (
+        f"Broadcast payload per worker: private-copy vs shared-memory "
+        f"descriptor ({NUM_SAMPLES} worlds, shard_size={SHARD_SIZE})"
+    )
+    report("broadcast_payload", format_table(rows, title=title))
+    _append_trajectory(points, kind="broadcast_payload")
+
+    for point in points:
+        if point["nodes"] >= 2000:
+            assert point["broadcast_reduction"] >= MIN_BROADCAST_RATIO, (
+                f"shared-memory transport shrinks the worker payload by only "
+                f"{point['broadcast_reduction']:.1f}x on {point['nodes']} "
+                f"nodes, below the {MIN_BROADCAST_RATIO}x bar"
+            )

@@ -25,7 +25,12 @@ from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, ESTIMATOR_METHODS
 from repro.exceptions import ReproError
 from repro.experiments.case_study import AIRBNB, BOOKING, case_study_series, run_case_study
 from repro.experiments.config import AlgorithmSpec, ExperimentConfig
-from repro.experiments.datasets import DATASET_SPECS, build_scenario, table2_rows
+from repro.experiments.datasets import (
+    DATASET_SPECS,
+    build_scenario,
+    snap_scenario,
+    table2_rows,
+)
 from repro.experiments.reporting import format_series, format_table, records_to_rows
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.sweeps import sweep_budget
@@ -91,6 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
                  "cross-checking (default: use the kernel when one is "
                  "available, silently falling back otherwise)",
         )
+        sub.add_argument(
+            "--no-shared-memory", action="store_true",
+            help="force by-value transport of the compiled graph and world "
+                 "blocks instead of the zero-copy shared-memory store; "
+                 "results are bit-identical either way (default: shared "
+                 "memory whenever --workers evaluates out-of-process)",
+        )
+
+    def add_graph_source(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--graph", default=None, metavar="EDGE_LIST",
+            help="build the scenario from a SNAP-style edge-list file "
+                 "instead of the named --dataset (whitespace-separated "
+                 "'src dst [prob]' lines, '#' comments; probabilities "
+                 "default to 1/in-degree; compiled through the "
+                 "content-addressed memory-mapped CSR cache)",
+        )
+        sub.add_argument(
+            "--graph-cache-dir", default=None, metavar="DIR",
+            help="directory of the compiled-graph cache used by --graph "
+                 "(default: $REPRO_GRAPH_CACHE_DIR or ~/.cache/repro-graphs)",
+        )
 
     datasets = subparsers.add_parser("datasets", help="print the Table II stand-ins")
     datasets.add_argument("--scale", type=float, default=0.15)
@@ -98,12 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = subparsers.add_parser("solve", help="run S3CA on one dataset")
     add_common(solve)
+    add_graph_source(solve)
     solve.add_argument("--spend-full-budget", action="store_true")
 
     compare = subparsers.add_parser(
         "compare", help="run S3CA and every baseline on one dataset"
     )
     add_common(compare)
+    add_graph_source(compare)
     compare.add_argument("--no-im-s", action="store_true",
                          help="skip the IM-S baseline (it is the slowest)")
 
@@ -136,6 +165,25 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workers=getattr(args, "workers", None),
         pipeline_depth=getattr(args, "pipeline_depth", None),
         use_kernel=False if getattr(args, "no_kernel", False) else None,
+        shared_memory=False if getattr(args, "no_shared_memory", False) else None,
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace, config: ExperimentConfig):
+    """The scenario a subcommand runs on: ``--graph`` file or named dataset."""
+    graph_path = getattr(args, "graph", None)
+    if graph_path is not None:
+        return snap_scenario(
+            graph_path,
+            budget=config.budget,
+            lam=config.lam,
+            kappa=config.kappa,
+            seed=config.seed,
+            cache_dir=getattr(args, "graph_cache_dir", None),
+        )
+    return build_scenario(
+        config.dataset, scale=config.scale, budget=config.budget,
+        lam=config.lam, kappa=config.kappa, seed=config.seed,
     )
 
 
@@ -164,10 +212,7 @@ def cmd_datasets(args: argparse.Namespace) -> str:
 
 def cmd_solve(args: argparse.Namespace) -> str:
     config = _config_from_args(args)
-    scenario = build_scenario(
-        config.dataset, scale=config.scale, budget=config.budget,
-        lam=config.lam, kappa=config.kappa, seed=config.seed,
-    )
+    scenario = _scenario_from_args(args, config)
     algorithm = S3CA(
         scenario,
         estimator_method=config.estimator_method,
@@ -181,6 +226,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
         workers=config.workers,
         pipeline_depth=config.pipeline_depth,
         use_kernel=config.use_kernel,
+        shared_memory=config.shared_memory,
     )
     try:
         result = algorithm.solve()
@@ -206,10 +252,7 @@ def cmd_solve(args: argparse.Namespace) -> str:
 
 def cmd_compare(args: argparse.Namespace) -> str:
     config = _config_from_args(args)
-    scenario = build_scenario(
-        config.dataset, scale=config.scale, budget=config.budget,
-        lam=config.lam, kappa=config.kappa, seed=config.seed,
-    )
+    scenario = _scenario_from_args(args, config)
     with ExperimentRunner(scenario, config) as runner:
         specs = runner.default_algorithms(include_im_s=not args.no_im_s)
         records = runner.run_all(specs)

@@ -151,6 +151,13 @@ class S3CA:
         interpreted fallback, ``True`` warns on fallback, ``False`` forces
         the interpreted oracle.  The selected deployment is bit-identical
         either way; ignored when ``estimator`` is supplied.
+    shared_memory:
+        Zero-copy shared-memory transport of the default estimator's
+        compiled graph and world blocks (:mod:`repro.utils.shm`): ``None``
+        enables it exactly when worlds execute out-of-process, ``True``
+        forces it (warning + by-value fallback when unavailable), ``False``
+        forces private copies.  The selected deployment is bit-identical for
+        every setting; ignored when ``estimator`` is supplied.
     """
 
     def __init__(
@@ -175,6 +182,7 @@ class S3CA:
         pool=None,
         pipeline_depth: Optional[int] = None,
         use_kernel: Optional[bool] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -182,6 +190,7 @@ class S3CA:
             scenario, estimator_method, num_samples=num_samples, seed=seed,
             shard_size=shard_size, workers=workers, pool=pool,
             pipeline_depth=pipeline_depth, use_kernel=use_kernel,
+            shared_memory=shared_memory,
         )
         if isinstance(self.estimator, RRBenefitEstimator):
             warnings.warn(

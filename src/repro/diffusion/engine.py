@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import copy
 import warnings
+import weakref
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,6 +58,7 @@ from repro.diffusion import kernels as _kernels
 from repro.exceptions import EstimationError
 from repro.graph.csr import CompiledGraph
 from repro.graph.social_graph import SocialGraph
+from repro.utils import shm as _shm
 from repro.utils.rng import SeedLike, spawn_rng
 
 NodeId = Hashable
@@ -102,7 +104,7 @@ class FlatWorldBlock:
     representation being drawn.
     """
 
-    __slots__ = ("targets", "offsets", "count", "_targets_list", "_offsets_rows")
+    __slots__ = ("targets", "offsets", "count", "_targets_list", "_offsets_rows", "segment")
 
     def __init__(self, targets: np.ndarray, offsets: np.ndarray, count: int) -> None:
         self.targets = targets
@@ -110,6 +112,22 @@ class FlatWorldBlock:
         self.count = count
         self._targets_list: Optional[List[int]] = None
         self._offsets_rows: Optional[List[List[int]]] = None
+        #: Shared-memory segment backing the arrays, when the block was
+        #: attached from (or published to) the machine-wide world store.
+        self.segment = None
+
+    def release(self) -> None:
+        """Drop the list caches and close a shared mapping, if any.
+
+        Called on LRU eviction so evicted shared blocks do not pin their
+        mapping; live array views (a caller still cascading on the block)
+        keep the pages valid regardless — closing is best-effort.
+        """
+        self._targets_list = None
+        self._offsets_rows = None
+        segment, self.segment = self.segment, None
+        if segment is not None:
+            _shm.close_segment(segment)
 
     def lists(self) -> Tuple[List[int], List[List[int]]]:
         """Python-list view ``(targets, offset rows)`` for the interpreted path."""
@@ -148,17 +166,26 @@ class WorldSampler:
 
     The sampler is picklable (frozen state + the compiled graph), which is
     what lets :mod:`repro.diffusion.parallel` ship it to worker processes
-    once and have every worker draw its own shards locally.
+    once and have every worker draw its own shards locally.  When the graph
+    is a :class:`~repro.graph.shared.SharedCompiledGraph` the pickle carries
+    only its segment descriptor, and when a
+    :class:`~repro.diffusion.world_store.SharedBlockStore` is attached,
+    :meth:`draw_block` publishes each block to shared memory exactly once
+    machine-wide — attachers get bit-identical zero-copy views, and any
+    process that cannot attach simply draws privately.
     """
 
-    __slots__ = ("compiled", "bit_generator_class", "state")
+    __slots__ = ("compiled", "bit_generator_class", "state", "store")
 
-    def __init__(self, compiled: CompiledGraph, seed: SeedLike = None) -> None:
+    def __init__(
+        self, compiled: CompiledGraph, seed: SeedLike = None, *, store=None
+    ) -> None:
         generator = spawn_rng(seed)
         bit_generator = generator.bit_generator
         self.compiled = compiled
         self.bit_generator_class = type(bit_generator)
         self.state = copy.deepcopy(bit_generator.state)
+        self.store = store
 
     def generator_at(self, world_index: int) -> np.random.Generator:
         """A generator positioned at the first coin flip of ``world_index``."""
@@ -175,7 +202,21 @@ class WorldSampler:
         return generator
 
     def draw_block(self, start: int, count: int) -> FlatWorldBlock:
-        """Materialise worlds ``start .. start+count-1`` as one flat block."""
+        """Worlds ``start .. start+count-1`` as one flat block.
+
+        With a shared block store attached this is publish-or-attach: the
+        first process to need the block materialises it into shared memory,
+        every other attaches zero-copy.  Without one (or whenever attaching
+        fails) the block is drawn privately — the arrays are bit-identical
+        either way, so the store never affects results.
+        """
+        store = self.store
+        if store is None:
+            return self.draw_block_private(start, count)
+        return store.block_for(self, start, count)
+
+    def draw_block_private(self, start: int, count: int) -> FlatWorldBlock:
+        """Materialise a block into process-private arrays (the raw draw)."""
         compiled = self.compiled
         generator = self.generator_at(start)
         num_edges = compiled.num_edges
@@ -234,7 +275,8 @@ class BlockCache:
         block = self.sampler.draw_block(start, count)
         blocks[start] = block
         while len(blocks) > self.max_blocks:
-            blocks.popitem(last=False)
+            _, evicted = blocks.popitem(last=False)
+            evicted.release()
         return block
 
 
@@ -335,6 +377,18 @@ class CompiledCascadeEngine:
         a one-world dummy block here at construction, so the first timed
         evaluation never pays compilation latency;
         :attr:`kernel_compile_seconds` records what the warm-up cost.
+    shared_memory:
+        ``None`` (default) turns zero-copy shared-memory transport on
+        automatically whenever the engine runs multiprocess (``workers > 1``
+        or an injected ``pool``): the compiled graph moves into a
+        :class:`~repro.graph.shared.SharedCompiledGraph` segment (so pool
+        broadcasts ship a few hundred bytes instead of the arrays) and world
+        blocks are published once machine-wide through a
+        :class:`~repro.diffusion.world_store.SharedBlockStore` instead of
+        being re-drawn per process.  ``True`` forces it on (warning and
+        falling back when the platform has no shared memory); ``False``
+        forces the historic private-copy transport.  Results are
+        bit-identical either way — the knob only moves bytes.
     """
 
     def __init__(
@@ -348,12 +402,12 @@ class CompiledCascadeEngine:
         start_method: Optional[str] = None,
         pool=None,
         use_kernel: Optional[bool] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if num_worlds <= 0:
             raise EstimationError(f"num_worlds must be > 0, got {num_worlds}")
         if isinstance(compiled, SocialGraph):
             compiled = CompiledGraph.from_social_graph(compiled)
-        self.compiled = compiled
         self.num_worlds = int(num_worlds)
 
         if pool is not None:
@@ -365,6 +419,31 @@ class CompiledCascadeEngine:
         self.workers = workers
         self.pool = pool
         self._start_method = start_method
+
+        # Zero-copy shared-memory transport: auto-on for multiprocess runs.
+        self.shared_memory_requested = shared_memory
+        share = (
+            bool(shared_memory)
+            if shared_memory is not None
+            else (pool is not None or workers > 1)
+        )
+        if share:
+            from repro.graph.shared import share_compiled
+
+            shared_graph = share_compiled(compiled)
+            if shared_graph is None:
+                if shared_memory is True:
+                    warnings.warn(
+                        "shared memory is unavailable on this platform; "
+                        "falling back to by-value graph transport — results "
+                        "are identical, broadcasts are just larger",
+                        stacklevel=2,
+                    )
+                share = False
+            else:
+                compiled = shared_graph
+        self.shared_memory = share
+        self.compiled = compiled
 
         if shard_size is not None:
             shard_size = int(shard_size)
@@ -385,6 +464,26 @@ class CompiledCascadeEngine:
             # directly; keep that stream contract so downstream draws from a
             # shared generator land where they always did.
             _consume_stream(seed, self.num_worlds * compiled.num_edges)
+
+        # Shared world-block store: blocks of this sampler's world grid are
+        # published to /dev/shm once machine-wide.  The engine owns cleanup
+        # of the *whole grid* — deterministic names make every segment
+        # enumerable, so even blocks published by a since-killed worker are
+        # swept on close / GC / interpreter exit.
+        self._store_bounds: Tuple[Tuple[int, int], ...] = ()
+        self._store_finalizer = None
+        if share:
+            from repro.diffusion.world_store import SharedBlockStore, sampler_fingerprint
+
+            store = SharedBlockStore(sampler_fingerprint(self.sampler))
+            self.sampler.store = store
+            self._store_bounds = tuple(
+                (start, min(self.shard_size, self.num_worlds - start))
+                for start in range(0, self.num_worlds, self.shard_size)
+            )
+            self._store_finalizer = weakref.finalize(
+                self, store.sweep, self._store_bounds
+            )
 
         # Resident world block (monolithic mode) or a small LRU of shards.
         self._resident_block: Optional[FlatWorldBlock] = None
@@ -762,12 +861,35 @@ class CompiledCascadeEngine:
         return self._executor
 
     def close(self) -> None:
-        """Release the executor: an owned pool shuts down, an injected pool
-        only has this engine's sampler unregistered (no-op when no parallel
-        run ever happened)."""
+        """Release the executor and sweep shared world-block segments.
+
+        An owned pool shuts down, an injected pool only has this engine's
+        sampler unregistered (no-op when no parallel run ever happened).
+        The shared block store's segments — including any published by
+        workers — are unlinked; the engine stays usable, re-publishing
+        blocks on demand, and re-arms its GC sweep."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        if self.shared_memory:
+            # Close the shared mappings' descriptors.  The numpy views keep
+            # the pages alive, so the engine stays fully usable — only the
+            # (bounded-resource) fds go; the owner finalizers still unlink
+            # the names at GC.
+            if self._resident_block is not None:
+                self._resident_block.release()
+            for block in self._block_cache._blocks.values():
+                block.release()
+            segment = getattr(self.compiled, "segment", None)
+            if segment is not None and getattr(self.compiled, "owns_segment", False):
+                _shm.close_segment(segment)
+        if self._store_finalizer is not None:
+            self._store_finalizer()
+            store = self.sampler.store
+            if store is not None:
+                self._store_finalizer = weakref.finalize(
+                    self, store.sweep, self._store_bounds
+                )
 
     def __enter__(self) -> "CompiledCascadeEngine":
         return self

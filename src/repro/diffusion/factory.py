@@ -45,6 +45,7 @@ def make_estimator(
     pool=None,
     pipeline_depth: Optional[int] = None,
     use_kernel: Optional[bool] = None,
+    shared_memory: Optional[bool] = None,
 ) -> BenefitEstimator:
     """Build a :class:`BenefitEstimator` for a scenario (or bare graph).
 
@@ -92,6 +93,13 @@ def make_estimator(
         warns on fallback, ``False`` forces the interpreted oracle.
         Bit-identical estimates either way (compiled Monte-Carlo backend
         only).
+    shared_memory:
+        Zero-copy shared-memory transport of the compiled graph and the
+        materialised world blocks (:mod:`repro.utils.shm`): ``None`` enables
+        it exactly when worlds execute out-of-process (``pool`` or
+        ``workers > 1``), ``True`` forces it (warning + by-value fallback
+        when unavailable), ``False`` forces private copies.  Bit-identical
+        estimates for every setting (compiled Monte-Carlo backend only).
     """
     graph = getattr(scenario_or_graph, "graph", scenario_or_graph)
     if not isinstance(graph, SocialGraph):
@@ -111,6 +119,7 @@ def make_estimator(
             pool=pool,
             pipeline_depth=pipeline_depth,
             use_kernel=use_kernel,
+            shared_memory=shared_memory,
         )
     if method == "mc":
         return MonteCarloEstimator(

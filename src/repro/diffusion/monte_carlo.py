@@ -122,6 +122,17 @@ class MonteCarloEstimator(BenefitEstimator):
         loop otherwise; ``True`` warns on fallback; ``False`` forces the
         interpreted oracle path.  Estimates are bit-identical either way.
         Compiled backend only.
+    shared_memory:
+        Zero-copy transport of the compiled graph and the materialised world
+        blocks through POSIX shared memory (:mod:`repro.utils.shm`).  ``None``
+        (default) turns it on exactly when worlds execute out-of-process
+        (``pool`` injected or ``workers > 1``) — that is when broadcast size
+        matters; ``True`` forces it even in-process (so other same-seed
+        estimators on the machine can attach this estimator's blocks),
+        warning and falling back to by-value transport when the platform
+        lacks shared memory; ``False`` forces the private-copy transport.
+        Estimates are bit-identical for every setting.  Compiled backend
+        only.
     """
 
     def __init__(
@@ -138,6 +149,7 @@ class MonteCarloEstimator(BenefitEstimator):
         pool=None,
         pipeline_depth: Optional[int] = None,
         use_kernel: Optional[bool] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         super().__init__(graph)
         if num_samples <= 0:
@@ -157,7 +169,7 @@ class MonteCarloEstimator(BenefitEstimator):
             self._engine = CompiledCascadeEngine(
                 graph.compiled(), self.num_samples, seed,
                 shard_size=shard_size, workers=workers, pool=pool,
-                use_kernel=use_kernel,
+                use_kernel=use_kernel, shared_memory=shared_memory,
             )
             if incremental:
                 self._delta = DeltaCascadeEngine(self._engine)
@@ -175,6 +187,12 @@ class MonteCarloEstimator(BenefitEstimator):
         self.kernel_backend = engine.kernel_backend if engine is not None else None
         self.kernel_compile_seconds = (
             engine.kernel_compile_seconds if engine is not None else 0.0
+        )
+        #: Whether the zero-copy shared-memory transport carries this
+        #: estimator's graph and world blocks (always False on the dict
+        #: backend, where nothing is compiled to share).
+        self.shared_memory_active = (
+            engine.shared_memory if engine is not None else False
         )
         if pipeline_depth is not None:
             pipeline_depth = int(pipeline_depth)

@@ -56,6 +56,7 @@ frameworks), where the broadcast arguments travel pickled —
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import sys
 import time
 import weakref
@@ -265,6 +266,14 @@ class SharedShardPool:
         self._samplers: Dict[int, WorldSampler] = {}
         self._token_by_id: Dict[int, int] = {}
         self._next_token = 0
+        #: Broadcast instrumentation (benchmarks read these): pickled bytes
+        #: of the most recent register() payload, the cumulative bytes
+        #: shipped over the pipe (payload × workers, summed over registers),
+        #: and the wall time of the most recent barrier broadcast.
+        self.last_broadcast_bytes = 0
+        self.broadcast_bytes_total = 0
+        self.last_broadcast_seconds = 0.0
+        self.broadcast_seconds_total = 0.0
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
         _LIVE_POOLS.add(self)
 
@@ -290,11 +299,23 @@ class SharedShardPool:
             return token
         token = self._next_token
         self._next_token += 1
+        # Measure what one worker receives: with a shared-memory graph the
+        # payload is a segment descriptor (hundreds of bytes); with a
+        # private graph it is the whole CSR.  The extra dump costs one
+        # serialization per register — once per estimator, not per task.
+        payload = (token, sampler, self.cache_blocks)
+        self.last_broadcast_bytes = len(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.broadcast_bytes_total += self.last_broadcast_bytes * self.workers
+        began = time.perf_counter()
         self._pool.map(
             _install_sampler,
-            [(token, sampler, self.cache_blocks)] * self.workers,
+            [payload] * self.workers,
             chunksize=1,
         )
+        self.last_broadcast_seconds = time.perf_counter() - began
+        self.broadcast_seconds_total += self.last_broadcast_seconds
         self._samplers[token] = sampler
         self._token_by_id[id(sampler)] = token
         return token

@@ -1,0 +1,232 @@
+"""Machine-wide shared store of materialised world blocks.
+
+Without it, every process of a worker pool draws its own private copy of
+every :class:`~repro.diffusion.engine.FlatWorldBlock` it evaluates — the same
+deterministic arrays, re-derived ``workers`` times and held in ``workers``
+private LRUs.  :class:`SharedBlockStore` deduplicates that machine-wide:
+whoever needs a block first publishes it into a :mod:`multiprocessing`
+shared-memory segment under a **deterministic name** derived from the
+sampler fingerprint and the block bounds; everyone else attaches zero-copy.
+
+Correctness never depends on the store.  Blocks are pure functions of the
+frozen sampler state, so a reader that finds no published block (not yet
+drawn, lost a race, store swept by a sibling engine with the same
+fingerprint) simply draws privately and gets bit-identical arrays.  That is
+also why crash cleanup can be blunt: the parent engine sweeps the *entire*
+name universe of its sampler — every ``(start, count)`` block of its world
+grid — on close and at GC, which removes even segments a since-killed worker
+published.  A stale same-fingerprint segment from an earlier crashed run is
+harmless for the same reason: its content is exactly what this run would
+draw.
+
+Publication protocol
+--------------------
+A block segment is only valid once fully written, but segment creation is
+visible to other processes immediately.  Publishers therefore create and
+fill the data segment first and only then create a one-byte ``ready``
+sentinel segment; readers require the sentinel before attaching.  Creation
+is the atomic primitive (``shm_open(O_CREAT | O_EXCL)``), so exactly one
+publisher wins any race; losers keep their private block.
+
+Segment layout: a 64-byte int64 header ``[num_targets, count, num_nodes]``,
+the ``(count, num_nodes + 1)`` int64 offsets matrix, then the int32
+concatenated targets — the exact dtypes of :class:`FlatWorldBlock`, so
+attached blocks are bit-identical views, not conversions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.engine import FlatWorldBlock, WorldSampler
+from repro.utils import shm
+
+#: Header slots: number of target entries, worlds in the block, graph nodes.
+_HEADER_FIELDS = 3
+#: Header bytes (padded so the offsets matrix starts 64-byte aligned).
+_HEADER_BYTES = 64
+
+
+def sampler_fingerprint(sampler: WorldSampler) -> str:
+    """Digest identifying the exact world universe a sampler draws.
+
+    Two samplers agree iff they produce bit-identical blocks for every
+    ``(start, count)``: same live-edge topology (indptr/indices), same draw
+    gather (edge_pos) and probabilities, same bit generator and same frozen
+    state.  Node attributes are deliberately excluded — they do not influence
+    world drawing.
+    """
+    compiled = sampler.compiled
+    digest = hashlib.sha256()
+    for array in (compiled.indptr, compiled.indices, compiled.probs, compiled.edge_pos):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    digest.update(
+        pickle.dumps(
+            (sampler.bit_generator_class.__name__, sampler.state),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    )
+    return digest.hexdigest()[:20]
+
+
+class SharedBlockStore:
+    """Publish-or-attach façade over the shared block segments of one sampler.
+
+    Instances are tiny and picklable (the fingerprint is the whole identity),
+    which is how the store travels inside a pickled
+    :class:`~repro.diffusion.engine.WorldSampler` to pool workers.  Counters
+    (`publish_count`, `attach_count`, `attach_seconds`) are per-process
+    benchmark instrumentation, not shared state.
+    """
+
+    __slots__ = ("fingerprint", "publish_count", "attach_count", "attach_seconds")
+
+    def __init__(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.publish_count = 0
+        self.attach_count = 0
+        self.attach_seconds = 0.0
+
+    def __reduce__(self):
+        return (SharedBlockStore, (self.fingerprint,))
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+
+    def data_name(self, start: int, count: int) -> str:
+        return f"{shm.SEGMENT_PREFIX}wb-{self.fingerprint}-{start}-{count}"
+
+    def ready_name(self, start: int, count: int) -> str:
+        return self.data_name(start, count) + "-r"
+
+    # ------------------------------------------------------------------
+    # publish / attach
+    # ------------------------------------------------------------------
+
+    def load(self, start: int, count: int, num_nodes: int) -> Optional[FlatWorldBlock]:
+        """Attach the published block, or ``None`` (caller draws privately)."""
+        began = time.perf_counter()
+        try:
+            sentinel = shm.attach_segment(self.ready_name(start, count))
+        except (FileNotFoundError, OSError):
+            return None
+        shm.close_segment(sentinel)
+        try:
+            segment = shm.attach_segment(self.data_name(start, count))
+        except (FileNotFoundError, OSError):
+            return None
+        header = np.frombuffer(segment.buf, dtype=np.int64, count=_HEADER_FIELDS)
+        num_targets, stored_count, stored_nodes = (int(v) for v in header)
+        if stored_count != count or stored_nodes != num_nodes:
+            # A different world grid collided on the name (only possible if
+            # someone truncated the fingerprint universe); treat as absent.
+            shm.close_segment(segment)
+            return None
+        block = _block_views(segment, num_targets, count, num_nodes)
+        self.attach_count += 1
+        self.attach_seconds += time.perf_counter() - began
+        return block
+
+    def publish(self, start: int, count: int, block: FlatWorldBlock) -> FlatWorldBlock:
+        """Publish a freshly drawn block; returns the shared-backed view.
+
+        On any race or OS-level failure the private ``block`` comes back
+        unchanged — publication is an optimisation, never a requirement.
+        """
+        num_nodes = block.offsets.shape[1] - 1
+        num_targets = int(block.targets.shape[0])
+        offsets_bytes = _aligned64(block.offsets.nbytes)
+        total = _HEADER_BYTES + offsets_bytes + max(block.targets.nbytes, 1)
+        name = self.data_name(start, count)
+        try:
+            segment = shm.create_segment(name, total)
+        except (FileExistsError, OSError):
+            return block
+        shm.register_owned(name)
+        header = np.frombuffer(segment.buf, dtype=np.int64, count=_HEADER_FIELDS)
+        header[:] = (num_targets, count, num_nodes)
+        offsets_view = np.frombuffer(
+            segment.buf, dtype=np.int64, count=block.offsets.size, offset=_HEADER_BYTES
+        )
+        offsets_view[:] = block.offsets.reshape(-1)
+        if num_targets:
+            targets_view = np.frombuffer(
+                segment.buf,
+                dtype=np.int32,
+                count=num_targets,
+                offset=_HEADER_BYTES + offsets_bytes,
+            )
+            targets_view[:] = block.targets
+        del header, offsets_view
+        ready = self.ready_name(start, count)
+        try:
+            sentinel = shm.create_segment(ready, 1)
+        except (FileExistsError, OSError):  # pragma: no cover - lost a race
+            shm.close_segment(segment)
+            return block
+        shm.register_owned(ready)
+        shm.close_segment(sentinel)
+        self.publish_count += 1
+        return _block_views(segment, num_targets, count, num_nodes)
+
+    def block_for(
+        self, sampler: WorldSampler, start: int, count: int
+    ) -> FlatWorldBlock:
+        """The store-mediated draw: attach if published, else draw + publish."""
+        num_nodes = sampler.compiled.num_nodes
+        block = self.load(start, count, num_nodes)
+        if block is not None:
+            return block
+        return self.publish(start, count, sampler.draw_block_private(start, count))
+
+    # ------------------------------------------------------------------
+    # cleanup
+    # ------------------------------------------------------------------
+
+    def sweep(self, bounds: Iterable[Tuple[int, int]]) -> int:
+        """Unlink every segment of the given block grid; returns how many.
+
+        Covers segments published by *any* process (the deterministic names
+        are the registry), which is what makes a SIGKILLed worker unable to
+        leak: the parent engine knows the grid and sweeps it all.  The ready
+        sentinel goes first so no reader can see ready-without-data.
+        """
+        removed = 0
+        for start, count in bounds:
+            if shm.unlink_segment(self.ready_name(start, count)):
+                removed += 1
+            if shm.unlink_segment(self.data_name(start, count)):
+                removed += 1
+        return removed
+
+
+def _aligned64(nbytes: int) -> int:
+    return (nbytes + 63) // 64 * 64
+
+
+def _block_views(segment, num_targets: int, count: int, num_nodes: int) -> FlatWorldBlock:
+    """Read-only :class:`FlatWorldBlock` views onto a block segment."""
+    offsets = np.frombuffer(
+        segment.buf,
+        dtype=np.int64,
+        count=count * (num_nodes + 1),
+        offset=_HEADER_BYTES,
+    ).reshape(count, num_nodes + 1)
+    offsets.flags.writeable = False
+    offsets_bytes = _aligned64(offsets.nbytes)
+    targets = np.frombuffer(
+        segment.buf,
+        dtype=np.int32,
+        count=num_targets,
+        offset=_HEADER_BYTES + offsets_bytes,
+    )
+    targets.flags.writeable = False
+    block = FlatWorldBlock(targets, offsets, count)
+    block.segment = segment
+    return block

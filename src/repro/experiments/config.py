@@ -75,6 +75,14 @@ class ExperimentConfig:
     #: oracle loop.  Results are bit-identical either way — only speed
     #: changes.
     use_kernel: Optional[bool] = None
+    #: Zero-copy shared-memory transport of the compiled graph and the
+    #: materialised world blocks (:mod:`repro.utils.shm`): ``None``
+    #: auto-enables it exactly when worlds execute out-of-process
+    #: (``workers > 1`` or an injected pool), ``True`` forces it (warning +
+    #: by-value fallback when the platform lacks shared memory), ``False``
+    #: forces private copies.  Results are bit-identical for every setting —
+    #: only broadcast size and memory change.
+    shared_memory: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.estimator_method not in ESTIMATOR_METHODS:

@@ -97,6 +97,7 @@ class ExperimentRunner:
                 pool=pool,
                 pipeline_depth=self.config.pipeline_depth,
                 use_kernel=self.config.use_kernel,
+                shared_memory=self.config.shared_memory,
             )
         self.estimator = estimator
 

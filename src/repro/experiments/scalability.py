@@ -95,6 +95,7 @@ def measure_s3ca(
         pool=pool,
         pipeline_depth=config.pipeline_depth,
         use_kernel=config.use_kernel,
+        shared_memory=config.shared_memory,
     )
     try:
         algorithm = S3CA(

@@ -58,7 +58,8 @@ class CompiledGraph:
     """
 
     __slots__ = (
-        "node_ids",
+        "_node_ids",
+        "_node_ids_loader",
         "_index",
         "indptr",
         "indices",
@@ -67,11 +68,12 @@ class CompiledGraph:
         "benefits",
         "seed_costs",
         "sc_costs",
+        "__weakref__",
     )
 
     def __init__(
         self,
-        node_ids: List[NodeId],
+        node_ids: Optional[List[NodeId]],
         indptr: np.ndarray,
         indices: np.ndarray,
         probs: np.ndarray,
@@ -79,11 +81,14 @@ class CompiledGraph:
         benefits: np.ndarray,
         seed_costs: np.ndarray,
         sc_costs: np.ndarray,
+        *,
+        node_ids_loader=None,
     ) -> None:
-        self.node_ids = list(node_ids)
-        self._index: Dict[NodeId, int] = {
-            node: position for position, node in enumerate(self.node_ids)
-        }
+        if node_ids is None and node_ids_loader is None:
+            raise ValueError("either node_ids or node_ids_loader is required")
+        self._node_ids = None if node_ids is None else list(node_ids)
+        self._node_ids_loader = node_ids_loader
+        self._index: Optional[Dict[NodeId, int]] = None
         self.indptr = indptr
         self.indices = indices
         self.probs = probs
@@ -97,11 +102,13 @@ class CompiledGraph:
     # ------------------------------------------------------------------
 
     def __getstate__(self) -> dict:
-        """Pickle the arrays only; ``_index`` is derived and rebuilt on load.
+        """Pickle the arrays only; ``_index`` is derived and rebuilt lazily.
 
         Compiled graphs are shipped to worker processes by
         :mod:`repro.diffusion.parallel`, so the payload matters: the index
-        dict roughly doubles it for no information.
+        dict roughly doubles it for no information.  (Zero-copy transport —
+        :class:`repro.graph.shared.SharedCompiledGraph` — bypasses this
+        entirely and ships a segment descriptor instead.)
         """
         return {
             "node_ids": self.node_ids,
@@ -115,10 +122,12 @@ class CompiledGraph:
         }
 
     def __setstate__(self, state: dict) -> None:
-        self.node_ids = state["node_ids"]
-        self._index = {
-            node: position for position, node in enumerate(self.node_ids)
-        }
+        # The index is derived data; workers that only run integer-indexed
+        # cascades never ask for it, so it is built lazily on first access
+        # instead of eagerly on every unpickle.
+        self._node_ids = state["node_ids"]
+        self._node_ids_loader = None
+        self._index = None
         self.indptr = state["indptr"]
         self.indices = state["indices"]
         self.probs = state["probs"]
@@ -199,14 +208,32 @@ class CompiledGraph:
     # ------------------------------------------------------------------
 
     @property
+    def node_ids(self) -> List[NodeId]:
+        """Node identifiers; position = compiled integer index.
+
+        Materialised lazily when the graph was built from a loader (memmap
+        cache, shared-memory attach) — pure integer-indexed consumers never
+        pay for it.
+        """
+        ids = self._node_ids
+        if ids is None:
+            ids = self._node_ids = list(self._node_ids_loader())
+        return ids
+
+    @property
     def index(self) -> Dict[NodeId, int]:
         """The ``node -> compiled index`` mapping (treat as read-only)."""
-        return self._index
+        index = self._index
+        if index is None:
+            index = self._index = {
+                node: position for position, node in enumerate(self.node_ids)
+            }
+        return index
 
     @property
     def num_nodes(self) -> int:
         """Number of users."""
-        return len(self.node_ids)
+        return int(self.indptr.shape[0]) - 1
 
     @property
     def num_edges(self) -> int:
@@ -214,10 +241,10 @@ class CompiledGraph:
         return int(self.indices.shape[0])
 
     def __len__(self) -> int:
-        return len(self.node_ids)
+        return self.num_nodes
 
     def __contains__(self, node: NodeId) -> bool:
-        return node in self._index
+        return node in self.index
 
     def __iter__(self) -> Iterator[NodeId]:
         return iter(self.node_ids)
@@ -225,7 +252,7 @@ class CompiledGraph:
     def index_of(self, node: NodeId) -> int:
         """Compiled integer index of ``node``."""
         try:
-            return self._index[node]
+            return self.index[node]
         except KeyError:
             raise NodeNotFoundError(node) from None
 
@@ -254,8 +281,9 @@ class CompiledGraph:
         """Compiled indices of ``nodes``, skipping unknown ids, order-preserving."""
         seen: set = set()
         result: List[int] = []
+        index = self.index
         for node in nodes:
-            position = self._index.get(node)
+            position = index.get(node)
             if position is not None and position not in seen:
                 seen.add(position)
                 result.append(position)
@@ -268,8 +296,9 @@ class CompiledGraph:
         dict-path cascade's ``allocation.get(user, 0)`` semantics.
         """
         coupons = np.zeros(self.num_nodes, dtype=np.int64)
+        index = self.index
         for node, count in allocation.items():
-            position = self._index.get(node)
+            position = index.get(node)
             if position is not None and int(count) > 0:
                 coupons[position] = int(count)
         return coupons

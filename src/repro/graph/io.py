@@ -1,25 +1,47 @@
 """Graph persistence.
 
-Two formats are supported:
+Three formats are supported:
 
 * a SNAP-style whitespace edge list (``source target [probability]`` per
   line, ``#`` comments allowed) — enough to load the public datasets the paper
-  uses if the user has them locally, and
+  uses if the user has them locally.  :func:`load_edge_list` reads it into a
+  mutable :class:`SocialGraph`; :func:`load_snap_graph` streams it straight
+  into a :class:`~repro.graph.csr.CompiledGraph` without materialising the
+  adjacency dicts, which is what makes million-edge SNAP files practical;
+* a content-addressed **compiled-graph cache** (:func:`load_compiled_snap`):
+  the CSR arrays of a compiled SNAP file are stored as ``.npy`` files under a
+  key derived from the source bytes and the build parameters, and later loads
+  memory-map them (``np.load(mmap_mode="r")``) — a warm load touches none of
+  the edge list and allocates almost nothing; and
 * a self-contained JSON format that also stores the per-node economic
   attributes, used by the experiment harness to cache generated scenarios.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 from pathlib import Path
-from typing import Union
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graph.attributes import NodeAttributes
+from repro.graph.csr import CompiledGraph
 from repro.graph.social_graph import SocialGraph
 
 PathLike = Union[str, Path]
+
+#: Environment override for the compiled-graph cache directory.
+GRAPH_CACHE_ENV = "REPRO_GRAPH_CACHE_DIR"
+
+#: Bumped whenever the compiled cache layout or compile semantics change, so
+#: stale entries from older code can never be mistaken for valid ones (the
+#: version participates in the content hash).
+_CACHE_FORMAT_VERSION = 1
 
 
 def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
@@ -97,3 +119,454 @@ def _parse_node(token: str):
         return int(token)
     except ValueError:
         return token
+
+
+# ----------------------------------------------------------------------
+# streaming SNAP ingestion
+# ----------------------------------------------------------------------
+
+
+def _iter_line_chunks(
+    path: Path, chunk_bytes: int
+) -> Iterator[Tuple[int, List[str]]]:
+    """Yield ``(first_line_number, lines)`` in bounded-memory chunks.
+
+    Reads the file in binary blocks and splits on newlines, carrying the
+    trailing partial line into the next block, so peak memory is
+    O(chunk_bytes) regardless of file size.
+    """
+    with path.open("rb") as handle:
+        leftover = b""
+        line_base = 1
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                if leftover:
+                    yield line_base, [leftover.decode("utf-8", errors="replace")]
+                return
+            block = leftover + block
+            cut = block.rfind(b"\n")
+            if cut < 0:
+                leftover = block
+                continue
+            leftover = block[cut + 1:]
+            lines = block[:cut].decode("utf-8", errors="replace").split("\n")
+            yield line_base, lines
+            line_base += len(lines)
+
+
+def _parse_snap_chunk(path: Path, line_base: int, lines: List[str]):
+    """Parse one chunk of edge-list lines into ``(src, dst, probs)`` columns.
+
+    Returns ``None`` for chunks that are all comments/blank.  The fast path
+    tokenises the whole chunk at once and converts the id columns with one
+    vectorised ``astype`` — no per-line Python when every data line has the
+    same column count and integer ids (the shape of every real SNAP file).
+    Anything irregular falls back to a per-line parse that reports the exact
+    offending line.
+    """
+    data: List[Tuple[int, List[str]]] = []
+    for offset, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        data.append((line_base + offset, stripped.split()))
+    if not data:
+        return None
+    columns = len(data[0][1])
+    if columns >= 2 and all(len(parts) == columns for _, parts in data):
+        tokens = np.array(
+            [token for _, parts in data for token in parts], dtype="U"
+        )
+        try:
+            sources = tokens[0::columns].astype(np.int64)
+            targets = tokens[1::columns].astype(np.int64)
+            probs = (
+                tokens[2::columns].astype(np.float64) if columns >= 3 else None
+            )
+        except ValueError:
+            pass  # non-integer ids or a malformed number: per-line below
+        else:
+            return sources, targets, probs
+    sources_list: List[object] = []
+    targets_list: List[object] = []
+    probs_list: List[float] = []
+    has_probs = len(data[0][1]) >= 3
+    for line_number, parts in data:
+        if len(parts) < 2:
+            raise GraphError(
+                f"{path}:{line_number}: expected 'source target [prob]', "
+                f"got {' '.join(parts)!r}"
+            )
+        sources_list.append(_parse_node(parts[0]))
+        targets_list.append(_parse_node(parts[1]))
+        if len(parts) > 2:
+            has_probs = True
+            try:
+                probs_list.append(float(parts[2]))
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{line_number}: malformed probability {parts[2]!r}"
+                ) from None
+        else:
+            probs_list.append(np.nan)  # mixed 2/3-column: nan = "use default"
+    probs = np.array(probs_list, dtype=np.float64) if has_probs else None
+    return np.array(sources_list, dtype=object), np.array(targets_list, dtype=object), probs
+
+
+def compile_snap_csr(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    probs: Optional[np.ndarray],
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+    source_name: str = "<edges>",
+) -> CompiledGraph:
+    """Compile raw edge columns into a :class:`CompiledGraph`, vectorised.
+
+    Replicates :meth:`CompiledGraph.from_social_graph` on the graph
+    :func:`load_edge_list` would build from the same lines, bit for bit:
+
+    * node order is first appearance in the ``source, target`` token stream;
+    * duplicate edges keep their **first-occurrence** position in the edge
+      enumeration order and their **last-occurrence** probability (re-adding
+      an edge overwrites the probability in place);
+    * self-loops are skipped (``SocialGraph`` rejects them; real SNAP files
+      contain a few) without creating their node;
+    * per-source edges are ranked by decreasing probability, ties by the
+      string form of the target id.
+
+    ``probs`` may be ``None`` (every edge gets ``default_probability``) or
+    contain NaN holes for two-column lines in a mixed file.
+    """
+    require = float(default_probability)
+    if not 0.0 <= require <= 1.0:
+        raise GraphError(
+            f"default_probability must be within [0, 1], got {default_probability}"
+        )
+    if probs is None:
+        probs = np.full(len(sources), require, dtype=np.float64)
+    else:
+        probs = np.where(np.isnan(probs), require, probs.astype(np.float64))
+        bad = (probs < 0.0) | (probs > 1.0)
+        if bad.any():
+            raise GraphError(
+                f"{source_name}: edge probability {probs[np.argmax(bad)]!r} "
+                "outside [0, 1]"
+            )
+
+    object_ids = sources.dtype == object
+    keep = sources != targets  # drop self-loops without creating their nodes
+    sources, targets, probs = sources[keep], targets[keep], probs[keep]
+    num_edges_raw = len(sources)
+    if num_edges_raw == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return CompiledGraph(
+            node_ids=[],
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=empty,
+            probs=np.empty(0, dtype=np.float64),
+            edge_pos=empty.copy(),
+            benefits=np.empty(0, dtype=np.float64),
+            seed_costs=np.empty(0, dtype=np.float64),
+            sc_costs=np.empty(0, dtype=np.float64),
+        )
+
+    # Node ranks in first-appearance order over the interleaved token stream.
+    stream = np.empty(2 * num_edges_raw, dtype=sources.dtype)
+    stream[0::2] = sources
+    stream[1::2] = targets
+    if object_ids:
+        # Mixed int/str ids cannot be sorted by np.unique; a dict preserves
+        # first-appearance order directly (slow path — small files only).
+        rank_of: dict = {}
+        for token in stream:
+            if token not in rank_of:
+                rank_of[token] = len(rank_of)
+        node_ids: List = list(rank_of)
+        stream_rank = np.fromiter(
+            (rank_of[token] for token in stream), dtype=np.int64, count=len(stream)
+        )
+    else:
+        unique, first_index, inverse = np.unique(
+            stream, return_index=True, return_inverse=True
+        )
+        appearance = np.argsort(first_index, kind="stable")
+        rank = np.empty(len(unique), dtype=np.int64)
+        rank[appearance] = np.arange(len(unique), dtype=np.int64)
+        node_ids = unique[appearance].tolist()
+        stream_rank = rank[inverse]
+    num_nodes = len(node_ids)
+    src = stream_rank[0::2]
+    dst = stream_rank[1::2]
+
+    # Deduplicate (source, target) pairs: first occurrence fixes the edge's
+    # slot in enumeration order, last occurrence fixes its probability.
+    pair_key = src * np.int64(num_nodes) + dst
+    by_key = np.argsort(pair_key, kind="stable")
+    sorted_keys = pair_key[by_key]
+    starts = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    first_pos = by_key[np.flatnonzero(starts)]
+    group_last = np.r_[np.flatnonzero(starts)[1:], len(by_key)] - 1
+    last_pos = by_key[group_last]
+    e_src = src[first_pos]
+    e_dst = dst[first_pos]
+    e_prob = probs[last_pos]
+    num_edges = len(first_pos)
+
+    # Enumeration (coin-flip draw) order: sources in node order, each
+    # source's targets in first-insertion order.
+    enumeration = np.lexsort((first_pos, e_src))
+    draw_position = np.empty(num_edges, dtype=np.int64)
+    draw_position[enumeration] = np.arange(num_edges, dtype=np.int64)
+
+    if reciprocal_in_degree and num_edges:
+        in_degree = np.bincount(e_dst, minlength=num_nodes)
+        e_prob = 1.0 / in_degree[e_dst]
+
+    # Ranked CSR: per source by decreasing probability, ties by str(target).
+    if object_ids:
+        ids_str = np.array([str(node) for node in node_ids], dtype="U")
+    else:
+        ids_str = np.asarray(node_ids, dtype=np.int64).astype("U21")
+    ranked = np.lexsort(
+        (ids_str[e_dst] if num_edges else np.empty(0, "U1"), -e_prob, e_src)
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(e_src, minlength=num_nodes), out=indptr[1:])
+    zeros = np.zeros(num_nodes, dtype=np.float64)
+    return CompiledGraph(
+        node_ids=node_ids,
+        indptr=indptr,
+        indices=e_dst[ranked].astype(np.int64),
+        probs=np.ascontiguousarray(e_prob[ranked]),
+        edge_pos=draw_position[ranked],
+        benefits=zeros,
+        seed_costs=zeros.copy(),
+        sc_costs=zeros.copy(),
+    )
+
+
+def load_snap_graph(
+    path: PathLike,
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+    chunk_bytes: int = 1 << 24,
+) -> CompiledGraph:
+    """Stream a SNAP-style edge list straight into a :class:`CompiledGraph`.
+
+    Identical semantics to ``load_edge_list(...).compiled()`` (same node
+    order, edge ranking, draw-order ``edge_pos`` — see
+    :func:`compile_snap_csr`) without ever building the adjacency dicts: the
+    file is parsed in bounded-memory chunks and compiled with vectorised
+    passes, which is what makes million-edge files practical.  Node
+    attributes are all zero, as for a bare edge-list load.
+    """
+    path = Path(path)
+    sources: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    probs: List[Optional[np.ndarray]] = []
+    for line_base, lines in _iter_line_chunks(path, chunk_bytes):
+        parsed = _parse_snap_chunk(path, line_base, lines)
+        if parsed is None:
+            continue
+        sources.append(parsed[0])
+        targets.append(parsed[1])
+        probs.append(parsed[2])
+    if not sources:
+        return compile_snap_csr(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), None,
+            default_probability=default_probability,
+            reciprocal_in_degree=reciprocal_in_degree,
+            source_name=str(path),
+        )
+    object_ids = any(column.dtype == object for column in sources)
+    if object_ids:
+        id_dtype = object
+        all_sources = np.concatenate([c.astype(object) for c in sources])
+        all_targets = np.concatenate([c.astype(object) for c in targets])
+    else:
+        all_sources = np.concatenate(sources)
+        all_targets = np.concatenate(targets)
+    if any(column is not None for column in probs):
+        all_probs = np.concatenate(
+            [
+                column if column is not None
+                else np.full(len(chunk_sources), np.nan)
+                for column, chunk_sources in zip(probs, sources)
+            ]
+        )
+    else:
+        all_probs = None
+    return compile_snap_csr(
+        all_sources, all_targets, all_probs,
+        default_probability=default_probability,
+        reciprocal_in_degree=reciprocal_in_degree,
+        source_name=str(path),
+    )
+
+
+# ----------------------------------------------------------------------
+# content-addressed compiled-graph cache
+# ----------------------------------------------------------------------
+
+_CACHE_ARRAY_FIELDS = (
+    "indptr", "indices", "probs", "edge_pos", "benefits", "seed_costs", "sc_costs",
+)
+
+
+def default_graph_cache_dir() -> Path:
+    """The compiled-graph cache directory (env override, else ``~/.cache``)."""
+    override = os.environ.get(GRAPH_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-graphs"
+
+
+def snap_cache_key(
+    path: PathLike,
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+) -> str:
+    """Content hash identifying one compiled form of one edge-list file.
+
+    Streams the source bytes through sha256 together with the build
+    parameters and the cache format version: touching the file, changing a
+    knob or upgrading the layout each produce a different key, so a cache
+    entry can never be wrong — at worst it is unused.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(
+            {
+                "format": _CACHE_FORMAT_VERSION,
+                "default_probability": float(default_probability),
+                "reciprocal_in_degree": bool(reciprocal_in_degree),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+    )
+    with Path(path).open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def snap_cache_path(
+    path: PathLike,
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+    cache_dir: Optional[PathLike] = None,
+) -> Path:
+    """Directory a cached compile of ``path`` lives in (existing or not)."""
+    base = Path(cache_dir) if cache_dir is not None else default_graph_cache_dir()
+    return base / snap_cache_key(
+        path,
+        default_probability=default_probability,
+        reciprocal_in_degree=reciprocal_in_degree,
+    )
+
+
+def _store_compiled(compiled: CompiledGraph, entry: Path) -> None:
+    """Atomically publish a compiled graph under ``entry``.
+
+    Everything is written into a sibling temp directory first and renamed
+    into place, so readers can never observe a half-written entry; losing a
+    publication race to another process is fine (their entry has the same
+    content by construction).
+    """
+    tmp = entry.parent / f".tmp-{entry.name[:16]}-{os.getpid()}"
+    tmp.mkdir(parents=True, exist_ok=True)
+    try:
+        for field in _CACHE_ARRAY_FIELDS:
+            np.save(tmp / f"{field}.npy", np.ascontiguousarray(getattr(compiled, field)))
+        node_ids = np.asarray(compiled.node_ids)
+        if node_ids.dtype.kind not in "iu":
+            node_ids = np.asarray(compiled.node_ids, dtype=object)
+        np.save(tmp / "node_ids.npy", node_ids, allow_pickle=node_ids.dtype == object)
+        (tmp / "meta.json").write_text(
+            json.dumps(
+                {
+                    "format": _CACHE_FORMAT_VERSION,
+                    "num_nodes": compiled.num_nodes,
+                    "num_edges": compiled.num_edges,
+                },
+                indent=2,
+            ),
+            encoding="utf-8",
+        )
+        try:
+            os.rename(tmp, entry)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)  # someone else won the race
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
+def _load_cached_compiled(entry: Path) -> CompiledGraph:
+    """Memory-mapped :class:`CompiledGraph` from a published cache entry.
+
+    The CSR arrays are ``np.load(mmap_mode="r")`` views — pages fault in on
+    demand and are shared between processes by the OS cache — and the node
+    identifiers load lazily on first access, so integer-indexed consumers
+    never touch them.
+    """
+    arrays = {
+        field: np.load(entry / f"{field}.npy", mmap_mode="r")
+        for field in _CACHE_ARRAY_FIELDS
+    }
+    ids_path = entry / "node_ids.npy"
+
+    def load_node_ids() -> List:
+        return np.load(ids_path, allow_pickle=True).tolist()
+
+    return CompiledGraph(node_ids=None, node_ids_loader=load_node_ids, **arrays)
+
+
+def load_compiled_snap(
+    path: PathLike,
+    *,
+    default_probability: float = 0.1,
+    reciprocal_in_degree: bool = False,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+) -> CompiledGraph:
+    """Load a SNAP edge list through the content-addressed compile cache.
+
+    The first load of a given (file content, parameters) pair streams and
+    compiles the edge list (:func:`load_snap_graph`) and publishes the CSR
+    arrays under :func:`default_graph_cache_dir` (or ``cache_dir``); every
+    later load memory-maps the published arrays without reading the edge
+    list at all.  Cached and fresh compiles are bit-identical by
+    construction — the key covers the source bytes and every knob.
+    """
+    path = Path(path)
+    if not use_cache:
+        return load_snap_graph(
+            path,
+            default_probability=default_probability,
+            reciprocal_in_degree=reciprocal_in_degree,
+        )
+    entry = snap_cache_path(
+        path,
+        default_probability=default_probability,
+        reciprocal_in_degree=reciprocal_in_degree,
+        cache_dir=cache_dir,
+    )
+    if (entry / "meta.json").exists():
+        return _load_cached_compiled(entry)
+    compiled = load_snap_graph(
+        path,
+        default_probability=default_probability,
+        reciprocal_in_degree=reciprocal_in_degree,
+    )
+    try:
+        _store_compiled(compiled, entry)
+    except OSError:
+        return compiled  # cache dir unwritable: still return the fresh compile
+    return compiled

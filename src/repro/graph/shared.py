@@ -1,0 +1,164 @@
+"""Zero-copy shared-memory transport for :class:`CompiledGraph`.
+
+A plain :class:`~repro.graph.csr.CompiledGraph` pickles its CSR arrays by
+value, so registering a sampler on a worker pool ships the whole graph to
+every worker — megabytes per worker on SNAP-scale graphs, and as many private
+copies as there are workers.  :class:`SharedCompiledGraph` replaces that with
+one :mod:`multiprocessing.shared_memory` segment holding every array (plus
+the pickled ``node_ids`` list as a trailing byte blob) and a pickle payload
+of **just the segment descriptor** — segment name, dtypes, shapes, offsets; a
+few hundred bytes however large the graph is.  Unpickling attaches to the
+segment and rebuilds read-only numpy views onto the same physical pages, so
+all workers and the parent share one copy of the graph.
+
+Ownership follows the package-wide creator-unlinks / attacher-closes rule:
+
+* the **creating** process (via :func:`share_compiled`) owns the segment; a
+  :func:`weakref.finalize` unlinks it when the graph is garbage collected,
+  and the :mod:`repro.utils.shm` exit sweep covers abnormal teardown;
+* an **attaching** process (a pool worker unpickling the descriptor) never
+  unlinks — its finalizer merely closes the local mapping — so a crashed or
+  killed worker cannot leak the segment, and a worker exiting cannot destroy
+  the graph under its siblings.
+
+Attached graphs materialise ``node_ids`` (and the node index) lazily from
+the packed blob: workers that only run integer-indexed cascades never touch
+either.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CompiledGraph, NodeId
+from repro.utils import shm
+
+#: CSR / attribute arrays packed into the segment, in manifest order.
+_ARRAY_FIELDS = (
+    "indptr",
+    "indices",
+    "probs",
+    "edge_pos",
+    "benefits",
+    "seed_costs",
+    "sc_costs",
+)
+
+#: Manifest field carrying the pickled node-identifier list.
+_NODE_IDS_FIELD = "node_ids_blob"
+
+
+class SharedCompiledGraph(CompiledGraph):
+    """A :class:`CompiledGraph` whose arrays live in one shared segment.
+
+    Behaviourally identical to its base class — same arrays, same values,
+    same ranked-CSR order — it only changes *where the bytes live* and what
+    a pickle of the graph contains (the segment descriptor instead of the
+    arrays).  Build one with :func:`share_compiled`; unpickling a descriptor
+    in another process yields an attached instance automatically.
+    """
+
+    __slots__ = ("segment", "descriptor", "owns_segment", "_finalizer")
+
+    def __init__(
+        self,
+        *,
+        node_ids: Optional[List[NodeId]],
+        node_ids_loader,
+        views: dict,
+        segment,
+        descriptor: dict,
+        owns_segment: bool,
+    ) -> None:
+        super().__init__(
+            node_ids,
+            views["indptr"],
+            views["indices"],
+            views["probs"],
+            views["edge_pos"],
+            views["benefits"],
+            views["seed_costs"],
+            views["sc_costs"],
+            node_ids_loader=node_ids_loader,
+        )
+        self.segment = segment
+        self.descriptor = descriptor
+        self.owns_segment = owns_segment
+        if owns_segment:
+            self._finalizer = weakref.finalize(self, shm.release_owned, segment)
+        else:
+            self._finalizer = weakref.finalize(self, shm.close_segment, segment)
+
+    def __reduce__(self):
+        # The whole point: the pickle payload is the descriptor, not the
+        # arrays.  Hundreds of bytes regardless of graph size.
+        return (attach_shared_graph, (self.descriptor,))
+
+    def release(self) -> None:
+        """Tear down now instead of at GC: creators unlink, attachers close."""
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "owner" if self.owns_segment else "attached"
+        return (
+            f"SharedCompiledGraph(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, segment={self.descriptor['segment']!r}, "
+            f"{role})"
+        )
+
+
+def share_compiled(compiled: CompiledGraph) -> Optional[SharedCompiledGraph]:
+    """Move ``compiled``'s arrays into a fresh shared segment.
+
+    Returns the owning :class:`SharedCompiledGraph` (the original object is
+    untouched; the new one views the shared pages, so the caller should use
+    it *instead of* the original), an already-shared graph unchanged, or
+    ``None`` when shared memory is unusable on this platform — the caller's
+    cue to fall back to by-value transport.
+    """
+    if isinstance(compiled, SharedCompiledGraph):
+        return compiled
+    if not shm.shared_memory_available():
+        return None
+    node_ids = compiled.node_ids
+    blob = pickle.dumps(node_ids, protocol=pickle.HIGHEST_PROTOCOL)
+    arrays = [(field, getattr(compiled, field)) for field in _ARRAY_FIELDS]
+    arrays.append((_NODE_IDS_FIELD, np.frombuffer(blob, dtype=np.uint8)))
+    try:
+        segment, manifest = shm.pack_arrays(arrays)
+    except OSError:
+        return None
+    _, views = shm.attach_arrays(manifest, segment=segment)
+    views.pop(_NODE_IDS_FIELD)
+    return SharedCompiledGraph(
+        node_ids=node_ids,  # the creator already has the list; keep it
+        node_ids_loader=None,
+        views=views,
+        segment=segment,
+        descriptor=manifest,
+        owns_segment=True,
+    )
+
+
+def attach_shared_graph(descriptor: dict) -> SharedCompiledGraph:
+    """Attach to a shared graph segment by descriptor (the unpickle path)."""
+    segment, views = shm.attach_arrays(descriptor)
+    blob = views.pop(_NODE_IDS_FIELD)
+
+    def load_node_ids() -> List[NodeId]:
+        # tobytes() copies out of the segment, so the unpickled list never
+        # references shared pages; the closure keeps the mapping alive.
+        return pickle.loads(blob.tobytes())
+
+    return SharedCompiledGraph(
+        node_ids=None,
+        node_ids_loader=load_node_ids,
+        views=views,
+        segment=segment,
+        descriptor=descriptor,
+        owns_segment=False,
+    )

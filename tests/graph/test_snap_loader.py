@@ -1,0 +1,280 @@
+"""The streaming SNAP loader and the content-addressed compile cache.
+
+Two contracts are locked down here:
+
+* **parity** — :func:`load_snap_graph` produces the exact compiled graph the
+  reference ``load_edge_list(...).compiled()`` path would (same node order,
+  CSR ranking, draw-order ``edge_pos``) for every file shape: duplicate
+  edges, comments, mixed 2/3-column lines, string ids, any chunk size;
+* **the cache is invisible** — a warm :func:`load_compiled_snap` memory-maps
+  bit-identical arrays to a fresh compile, and the content hash makes a
+  stale hit impossible (touching a byte of the source changes the key).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.io import (
+    GRAPH_CACHE_ENV,
+    default_graph_cache_dir,
+    load_compiled_snap,
+    load_edge_list,
+    load_snap_graph,
+    snap_cache_path,
+)
+
+FIELDS = ("indptr", "indices", "probs", "edge_pos", "benefits", "seed_costs", "sc_costs")
+
+
+def _write(tmp_path, text, name="edges.txt"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _assert_compiled_equal(actual, expected):
+    assert list(actual.node_ids) == list(expected.node_ids)
+    for field in FIELDS:
+        assert np.array_equal(
+            np.asarray(getattr(actual, field)), np.asarray(getattr(expected, field))
+        ), field
+
+
+def _random_edges(seed, num_nodes=35, num_lines=300):
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, num_nodes, size=(num_lines, 2))
+    return [
+        (int(s), int(d), round(float(p), 3))
+        for (s, d), p in zip(pairs, rng.random(num_lines))
+        if s != d
+    ]
+
+
+# ----------------------------------------------------------------------
+# parity with the SocialGraph reference path
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    {},
+    {"default_probability": 0.25},
+    {"reciprocal_in_degree": True},
+])
+def test_snap_parity_int_ids_with_duplicates(tmp_path, kwargs):
+    edges = _random_edges(0)
+    text = "# src dst prob\n" + "\n".join(f"{s}\t{d} {p}" for s, d, p in edges)
+    path = _write(tmp_path, text)
+    _assert_compiled_equal(
+        load_snap_graph(path, **kwargs), load_edge_list(path, **kwargs).compiled()
+    )
+
+
+def test_snap_parity_two_column_default_probability(tmp_path):
+    edges = _random_edges(1)
+    path = _write(tmp_path, "\n".join(f"{s} {d}" for s, d, _ in edges))
+    _assert_compiled_equal(
+        load_snap_graph(path, default_probability=0.4),
+        load_edge_list(path, default_probability=0.4).compiled(),
+    )
+
+
+def test_snap_parity_string_ids(tmp_path):
+    edges = _random_edges(2)
+    path = _write(tmp_path, "\n".join(f"u{s} v{d} {p}" for s, d, p in edges))
+    _assert_compiled_equal(
+        load_snap_graph(path), load_edge_list(path).compiled()
+    )
+
+
+def test_snap_parity_mixed_column_counts(tmp_path):
+    edges = _random_edges(3)
+    lines = [
+        f"{s} {d} {p}" if index % 3 else f"{s} {d}"
+        for index, (s, d, p) in enumerate(edges)
+    ]
+    path = _write(tmp_path, "\n".join(lines))
+    _assert_compiled_equal(
+        load_snap_graph(path, default_probability=0.5),
+        load_edge_list(path, default_probability=0.5).compiled(),
+    )
+
+
+@pytest.mark.parametrize("chunk_bytes", [7, 64, 4096])
+def test_snap_parity_across_chunk_boundaries(tmp_path, chunk_bytes):
+    edges = _random_edges(4)
+    path = _write(
+        tmp_path, "# header\n\n" + "\n".join(f"{s} {d} {p}" for s, d, p in edges)
+    )
+    _assert_compiled_equal(
+        load_snap_graph(path, chunk_bytes=chunk_bytes),
+        load_edge_list(path).compiled(),
+    )
+
+
+def test_zero_and_one_based_ids_give_isomorphic_structure(tmp_path):
+    zero = load_snap_graph(_write(tmp_path, "0 1 0.5\n1 2 0.3\n0 2 0.8", "z.txt"))
+    one = load_snap_graph(_write(tmp_path, "1 2 0.5\n2 3 0.3\n1 3 0.8", "o.txt"))
+    assert zero.node_ids == [0, 1, 2]
+    assert one.node_ids == [1, 2, 3]
+    for field in ("indptr", "indices", "probs", "edge_pos"):
+        assert np.array_equal(getattr(zero, field), getattr(one, field))
+
+
+# ----------------------------------------------------------------------
+# irregular input
+# ----------------------------------------------------------------------
+
+
+def test_comments_headers_and_blank_lines_are_ignored(tmp_path):
+    path = _write(tmp_path, "# SNAP header\n# more\n\n  \n1 2 0.5\n# tail\n2 3 0.7\n")
+    compiled = load_snap_graph(path)
+    assert compiled.node_ids == [1, 2, 3]
+    assert compiled.num_edges == 2
+
+
+def test_self_loops_are_skipped_without_creating_their_node(tmp_path):
+    path = _write(tmp_path, "1 2 0.5\n9 9 0.9\n2 1 0.4\n")
+    compiled = load_snap_graph(path)
+    assert compiled.node_ids == [1, 2]
+    assert compiled.num_edges == 2
+
+
+def test_duplicate_edges_keep_last_probability_first_position(tmp_path):
+    # The reference path overwrites the probability in place; the duplicate
+    # must not create a second edge or move the first one.
+    path = _write(tmp_path, "1 2 0.9\n1 3 0.5\n1 2 0.1\n")
+    compiled = load_snap_graph(path)
+    reference = load_edge_list(path).compiled()
+    _assert_compiled_equal(compiled, reference)
+    assert compiled.num_edges == 2
+    assert compiled.ranked_out_neighbors(1) == [(3, 0.5), (2, 0.1)]
+
+
+def test_malformed_line_reports_path_and_line_number(tmp_path):
+    path = _write(tmp_path, "1 2 0.5\njunk\n")
+    with pytest.raises(GraphError, match=r"edges\.txt:2"):
+        load_snap_graph(path)
+
+
+def test_malformed_probability_reports_line_number(tmp_path):
+    path = _write(tmp_path, "1 2 0.5\n2 3 zero.nine\n")
+    with pytest.raises(GraphError, match=r"edges\.txt:2.*probab"):
+        load_snap_graph(path)
+
+
+def test_out_of_range_probability_is_rejected(tmp_path):
+    path = _write(tmp_path, "1 2 1.5\n")
+    with pytest.raises(GraphError, match=r"outside \[0, 1\]"):
+        load_snap_graph(path)
+
+
+def test_empty_and_comment_only_files(tmp_path):
+    compiled = load_snap_graph(_write(tmp_path, "# nothing here\n\n"))
+    assert compiled.num_nodes == 0
+    assert compiled.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# the compile cache
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    cache = tmp_path / "graph-cache"
+    monkeypatch.setenv(GRAPH_CACHE_ENV, str(cache))
+    return cache
+
+
+def test_cache_round_trip_is_bit_identical_and_memory_mapped(tmp_path, cache_dir):
+    edges = _random_edges(5)
+    path = _write(tmp_path, "\n".join(f"{s} {d} {p}" for s, d, p in edges))
+    cold = load_compiled_snap(path)
+    entry = snap_cache_path(path)
+    assert (entry / "meta.json").exists()
+    warm = load_compiled_snap(path)
+    fresh = load_snap_graph(path)
+    _assert_compiled_equal(cold, fresh)
+    _assert_compiled_equal(warm, fresh)
+    assert isinstance(warm.indptr, np.memmap)
+    # node ids come back as the same plain Python values.
+    assert warm.node_ids == fresh.node_ids
+
+
+def test_cached_node_ids_and_index_load_lazily(tmp_path, cache_dir):
+    path = _write(tmp_path, "1 2 0.5\n2 3 0.7\n")
+    load_compiled_snap(path)
+    warm = load_compiled_snap(path)
+    assert warm._node_ids is None
+    assert warm._index is None
+    assert warm.index_of(3) == 2  # forces materialisation
+    assert warm._node_ids == [1, 2, 3]
+
+
+def test_touching_the_source_changes_the_cache_key(tmp_path, cache_dir):
+    path = _write(tmp_path, "1 2 0.5\n")
+    first_entry = snap_cache_path(path)
+    load_compiled_snap(path)
+    path.write_text("1 2 0.5\n2 3 0.7\n", encoding="utf-8")
+    assert snap_cache_path(path) != first_entry
+    recompiled = load_compiled_snap(path)
+    assert recompiled.num_edges == 2
+
+
+def test_build_parameters_participate_in_the_key(tmp_path, cache_dir):
+    path = _write(tmp_path, "1 2 0.5\n2 1 0.7\n")
+    plain = snap_cache_path(path)
+    assert snap_cache_path(path, reciprocal_in_degree=True) != plain
+    assert snap_cache_path(path, default_probability=0.2) != plain
+
+
+def test_explicit_cache_dir_and_use_cache_false(tmp_path):
+    edges_path = _write(tmp_path, "1 2 0.5\n")
+    cache = tmp_path / "explicit-cache"
+    compiled = load_compiled_snap(edges_path, cache_dir=cache)
+    assert (snap_cache_path(edges_path, cache_dir=cache) / "meta.json").exists()
+    bypass = load_compiled_snap(edges_path, cache_dir=cache, use_cache=False)
+    _assert_compiled_equal(bypass, compiled)
+    assert not isinstance(bypass.indptr, np.memmap)
+
+
+def test_default_cache_dir_honours_environment(monkeypatch):
+    monkeypatch.setenv(GRAPH_CACHE_ENV, "/tmp/some-cache")
+    assert str(default_graph_cache_dir()) == "/tmp/some-cache"
+    monkeypatch.delenv(GRAPH_CACHE_ENV)
+    assert default_graph_cache_dir().name == "repro-graphs"
+
+
+def test_cached_graph_estimates_identically_to_fresh(tmp_path, cache_dir):
+    """The memmapped arrays drive the full Monte-Carlo engine bit-identically."""
+    from repro.diffusion.engine import CompiledCascadeEngine
+
+    edges = _random_edges(6, num_nodes=20, num_lines=120)
+    path = _write(tmp_path, "\n".join(f"{s} {d} {p}" for s, d, p in edges))
+    load_compiled_snap(path)  # populate
+    warm = load_compiled_snap(path)
+    fresh = load_snap_graph(path)
+    seeds = [fresh.node_ids[0]]
+    engine_warm = CompiledCascadeEngine(warm, 30, seed=13)
+    engine_fresh = CompiledCascadeEngine(fresh, 30, seed=13)
+    counts_w, benefit_w = engine_warm.run(seeds, {fresh.node_ids[1]: 1})
+    counts_f, benefit_f = engine_fresh.run(seeds, {fresh.node_ids[1]: 1})
+    assert np.array_equal(counts_w, counts_f)
+    assert benefit_w == benefit_f
+
+
+def test_snap_scenario_builds_on_the_cache(tmp_path, cache_dir):
+    from repro.experiments.datasets import snap_scenario
+
+    edges = _random_edges(7, num_nodes=15, num_lines=60)
+    path = _write(tmp_path, "\n".join(f"{s} {d}" for s, d, _ in edges))
+    scenario = snap_scenario(path, seed=3)
+    assert scenario.budget_limit == 2.0 * scenario.graph.num_nodes
+    assert (snap_cache_path(path, reciprocal_in_degree=True) / "meta.json").exists()
+    # 1/in-degree probabilities, the paper's weighted-cascade setting.
+    graph = scenario.graph
+    some_target = next(t for _, t, _ in graph.edges())
+    assert graph.probability(
+        next(s for s, t, _ in graph.edges() if t == some_target), some_target
+    ) == pytest.approx(1.0 / graph.in_degree(some_target))
