@@ -1,0 +1,178 @@
+"""Campaign-server resident-state benchmark: cold vs warm solves + what-ifs.
+
+PR 8's server keeps compiled graphs, RNG-frozen samplers and warmed kernels
+resident across requests, so every solve after the first skips the one-time
+costs and what-if queries are answered from spliced delta snapshots instead
+of fresh solves.  This benchmark drives an in-process
+:class:`~repro.server.service.CampaignService` (no HTTP framework needed)
+and measures:
+
+* **cold solve** — register + first solve: graph compile, estimator build,
+  kernel warm-up, then the S3CA phases;
+* **warm solve** — second solve of the same scenario; the gate requires the
+  resident estimator to be reused (no re-compile, no re-warm-up) and the
+  wall clock to beat the cold solve;
+* **what-if latency** — extra-coupon (delta-splice) and seed-drop
+  (warm-pass) queries against the solve's deployment, which must come back
+  far faster than any solve and bit-identical to a cold evaluation of the
+  modified deployment.
+
+The measured points are appended to ``BENCH_server.json`` at the repository
+root, so successive runs accumulate a performance trajectory.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SERVER_SCALE``
+    Dataset scale of the benchmark scenario (default ``0.3``).
+``REPRO_BENCH_SERVER_SAMPLES``
+    Monte-Carlo worlds of the resident estimator (default ``60``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("pydantic", reason="server benchmarks need the 'server' extra")
+
+from benchmarks.conftest import BENCH_SEED
+from repro.diffusion.factory import make_estimator
+from repro.experiments.config import ServerConfig
+from repro.experiments.reporting import format_table
+from repro.server.schemas import RegisterScenarioRequest, SolveRequest, WhatIfRequest
+from repro.server.service import CampaignService
+from repro.utils.timer import Timer
+
+SCALE = float(os.environ.get("REPRO_BENCH_SERVER_SCALE", "0.3"))
+SAMPLES = int(os.environ.get("REPRO_BENCH_SERVER_SAMPLES", "60"))
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+
+def _append_trajectory(point):
+    data = {"benchmark": "campaign_server", "runs": []}
+    if TRAJECTORY_PATH.exists():
+        try:
+            loaded = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable: start a fresh trajectory
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "scale": SCALE,
+            "samples": SAMPLES,
+            **point,
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.mark.benchmark(group="server")
+def test_server_resident_state_amortisation(report):
+    service = CampaignService(ServerConfig(num_samples=SAMPLES, seed=BENCH_SEED))
+    try:
+        solve_request = SolveRequest(candidate_limit=6, pivot_limit=15)
+
+        with Timer() as cold_timer:
+            info, _ = service.register_scenario(
+                RegisterScenarioRequest(dataset="facebook", scale=SCALE)
+            )
+            sid = info["scenario_id"]
+            job = service.enqueue_solve(sid, solve_request)
+            cold = service.jobs.wait(job.job_id, timeout=600)
+        assert cold.status == "done", cold.error
+        assert cold.result["resident"]["estimator_reused"] is False
+
+        with Timer() as warm_timer:
+            job = service.enqueue_solve(sid, solve_request)
+            warm = service.jobs.wait(job.job_id, timeout=600)
+        assert warm.status == "done", warm.error
+
+        # The gates: resident state is actually reused, and reuse pays.
+        assert warm.result["resident"]["estimator_reused"] is True
+        assert warm.result["timings"]["graph_compile_seconds"] == 0.0
+        assert warm.result["timings"]["kernel_compile_seconds"] == 0.0
+        assert warm.result["resident"]["graph_compiles"] == 1
+        assert warm_timer.elapsed < cold_timer.elapsed
+        assert warm.result["expected_benefit"] == cold.result["expected_benefit"]
+
+        target = cold.result["seeds"][0]
+        with Timer() as splice_timer:
+            splice = service.whatif(sid, WhatIfRequest(extra_coupons={target: 2}))
+        assert splice["answered_by"] == "delta-splice"
+
+        with Timer() as drop_timer:
+            drop = service.whatif(sid, WhatIfRequest(drop_seeds=[target]))
+        assert drop["answered_by"] == "warm-pass"
+
+        # Fidelity gate: the delta-splice answer matches a cold evaluation
+        # of the modified deployment, bit for bit.
+        entry = service.registry.get(sid)
+        graph = entry.scenario.graph
+        node = target if target in graph else int(target)
+        seeds = {
+            (raw if raw in graph else int(raw)) for raw in cold.result["seeds"]
+        }
+        allocation = {
+            (raw if raw in graph else int(raw)): count
+            for raw, count in cold.result["allocation"].items()
+        }
+        allocation[node] = allocation.get(node, 0) + 2
+        fresh = make_estimator(
+            entry.scenario, "mc-compiled", num_samples=SAMPLES, seed=BENCH_SEED
+        )
+        try:
+            fresh_benefit = fresh.expected_benefit(seeds, allocation)
+        finally:
+            fresh.close()
+        assert splice["modified"]["expected_benefit"] == fresh_benefit
+
+        rows = [
+            {
+                "request": "cold solve",
+                "seconds": cold_timer.elapsed,
+                "speedup_vs_cold": 1.0,
+            },
+            {
+                "request": "warm solve",
+                "seconds": warm_timer.elapsed,
+                "speedup_vs_cold": cold_timer.elapsed / max(warm_timer.elapsed, 1e-9),
+            },
+            {
+                "request": "whatif delta-splice",
+                "seconds": splice_timer.elapsed,
+                "speedup_vs_cold": cold_timer.elapsed / max(splice_timer.elapsed, 1e-9),
+            },
+            {
+                "request": "whatif warm-pass",
+                "seconds": drop_timer.elapsed,
+                "speedup_vs_cold": cold_timer.elapsed / max(drop_timer.elapsed, 1e-9),
+            },
+        ]
+        report(
+            "server",
+            format_table(
+                rows,
+                title=(
+                    f"Campaign server resident-state amortisation "
+                    f"(facebook scale={SCALE}, {SAMPLES} worlds)"
+                ),
+            ),
+        )
+        _append_trajectory(
+            {
+                "cold_solve_seconds": cold_timer.elapsed,
+                "warm_solve_seconds": warm_timer.elapsed,
+                "whatif_splice_seconds": splice_timer.elapsed,
+                "whatif_warm_pass_seconds": drop_timer.elapsed,
+                "warm_speedup": cold_timer.elapsed / max(warm_timer.elapsed, 1e-9),
+                "kernel_backend": warm.result["resident"]["kernel_backend"],
+            }
+        )
+    finally:
+        service.close()

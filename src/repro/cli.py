@@ -17,6 +17,7 @@ Every subcommand prints the same text tables the benchmark harness writes to
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -34,6 +35,19 @@ from repro.experiments.datasets import (
 from repro.experiments.reporting import format_series, format_table, records_to_rows
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.sweeps import sweep_budget
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for knobs where 0 or a negative value is meaningless."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,20 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "slower; mainly for cross-checking)",
         )
         sub.add_argument(
-            "--shard-size", type=int, default=None,
+            "--shard-size", type=_positive_int, default=None,
             help="evaluate live-edge worlds in blocks of this size (bounds "
                  "peak memory to O(shard) worlds; any value is bit-identical "
                  "to the default resident-worlds path)",
         )
         sub.add_argument(
-            "--workers", type=int, default=None,
+            "--workers", type=_positive_int, default=None,
             help="evaluate world shards on a persistent process pool of this "
                  "size, shared across every algorithm and swept condition of "
                  "the command (streaming block-ordered reduction: results "
                  "are bit-identical for every worker count; default: serial)",
         )
         sub.add_argument(
-            "--pipeline-depth", type=int, default=None,
+            "--pipeline-depth", type=_positive_int, default=None,
             help="in-flight bound of the batched evaluation scheduler: how "
                  "many submitted evaluations a batch keeps pending before "
                  "draining the oldest (results are bit-identical for any "
@@ -144,6 +158,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(case)
     case.add_argument("--policy", choices=("airbnb", "booking"), default="airbnb")
     case.add_argument("--margins", type=float, nargs="+", default=[0.3, 0.5, 0.7])
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign server (S3CA as a long-running service)",
+        description="Serve register/solve/what-if endpoints with compiled "
+                    "graphs, frozen world samplers, warmed kernels and one "
+                    "shared worker pool kept resident across requests. "
+                    "Needs the 'server' extra (FastAPI) or Flask.",
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: $REPRO_SERVER_HOST or 127.0.0.1)")
+    serve.add_argument("--port", type=_positive_int, default=None,
+                       help="bind port (default: $REPRO_SERVER_PORT or 8000)")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="size of the resident shared shard pool every scenario's "
+             "estimator evaluates on (default: $REPRO_SERVER_WORKERS or "
+             "serial in-process)",
+    )
+    serve.add_argument(
+        "--job-workers", type=_positive_int, default=None,
+        help="solve jobs run concurrently (default: $REPRO_SERVER_JOB_WORKERS "
+             "or 2; jobs on one scenario still serialise on its lock)",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=None,
+        help="bound of the pending-job queue; submissions past it get HTTP "
+             "503 (default: $REPRO_SERVER_MAX_QUEUE or 64)",
+    )
+    serve.add_argument(
+        "--samples", type=_positive_int, default=None,
+        help="default Monte-Carlo worlds per scenario, overridable per "
+             "registration (default: $REPRO_SERVER_SAMPLES or 200)",
+    )
+    serve.add_argument(
+        "--graph-cache-dir", default=None, metavar="DIR",
+        help="compiled-graph cache used for snap_path registrations "
+             "(default: $REPRO_SERVER_GRAPH_CACHE_DIR or the --graph default)",
+    )
 
     return parser
 
@@ -299,13 +352,62 @@ def cmd_case_study(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def cmd_serve(args: argparse.Namespace) -> str:
+    from repro.experiments.config import ServerConfig
+    from repro.server.app import serve
+
+    config = ServerConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_workers=args.job_workers,
+        max_queued_jobs=args.max_queue,
+        num_samples=args.samples,
+        graph_cache_dir=args.graph_cache_dir,
+    )
+    serve(config)
+    return ""
+
+
 _COMMANDS = {
     "datasets": cmd_datasets,
     "solve": cmd_solve,
     "compare": cmd_compare,
     "sweep-budget": cmd_sweep_budget,
     "case-study": cmd_case_study,
+    "serve": cmd_serve,
 }
+
+
+def _release_after_interrupt() -> None:
+    """Best-effort teardown of pools and shm segments after a SIGINT.
+
+    A Ctrl-C can land anywhere — mid-broadcast, mid-reduce — so each step
+    is independently shielded; the goal is no live worker processes and no
+    /dev/shm residue, not a clean unwind.
+    """
+    try:
+        from repro.diffusion.parallel import shutdown_live_pools
+
+        shutdown_live_pools()
+    except Exception:
+        pass
+    try:
+        from repro.utils import shm
+
+        shm.sweep_owned()
+    except Exception:
+        pass
+
+
+def _suppress_broken_pipe() -> None:
+    """Detach stdout so interpreter shutdown does not re-raise EPIPE."""
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+    except (OSError, ValueError):
+        pass
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -314,10 +416,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         output = _COMMANDS[args.command](args)
+        print(output)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(output)
+    except KeyboardInterrupt:
+        _release_after_interrupt()
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Typical when piped into `head`: the reader went away. Exit with
+        # the conventional SIGPIPE code instead of a traceback.
+        _suppress_broken_pipe()
+        return 141
     return 0
 
 

@@ -61,6 +61,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.env import env_flag
+
 logger = logging.getLogger(__name__)
 
 #: Setting this environment variable (to any non-empty value) disables both
@@ -485,8 +487,13 @@ _KERNEL: "CascadeKernel | None | bool" = False
 
 
 def native_disabled() -> bool:
-    """Whether ``REPRO_NO_NATIVE_KERNEL`` forces the interpreted path."""
-    return bool(os.environ.get(DISABLE_ENV))
+    """Whether ``REPRO_NO_NATIVE_KERNEL`` forces the interpreted path.
+
+    Parsed through :func:`repro.utils.env.env_flag`, so ``0``/``false``/
+    ``no``/``off``/empty behave exactly like leaving the variable unset —
+    only a truthy spelling disables the native backends.
+    """
+    return env_flag(DISABLE_ENV)
 
 
 def load_kernel() -> Optional[CascadeKernel]:

@@ -98,6 +98,29 @@ def live_executor_count() -> int:
     return sum(1 for executor in _LIVE_EXECUTORS if not executor.closed)
 
 
+def shutdown_live_pools() -> int:
+    """Terminate every live pool and executor; returns how many were closed.
+
+    The emergency teardown path of the CLI's interrupt handler: normal code
+    closes its own estimators/pools, but a ``KeyboardInterrupt`` can land
+    anywhere — including between an estimator's construction and the
+    ``try/finally`` that would release it.  Pools are terminated first
+    (idempotent, never blocks on in-flight tasks), after which closing the
+    executors is pure bookkeeping: an injected pool that is already closed
+    makes ``release`` a no-op instead of a broadcast.
+    """
+    closed = 0
+    for pool in list(_LIVE_POOLS):
+        if not pool.closed:
+            pool.close()
+            closed += 1
+    for executor in list(_LIVE_EXECUTORS):
+        if not executor.closed:
+            executor.close()
+            closed += 1
+    return closed
+
+
 class _WorkerState:
     """Everything one worker process needs to evaluate one sampler's blocks."""
 

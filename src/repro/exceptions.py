@@ -57,3 +57,12 @@ class EstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class ServerError(ReproError):
+    """Raised by the campaign server (:mod:`repro.server`) for request and
+    lifecycle failures; concrete subclasses carry the HTTP status to map
+    onto."""
+
+    #: HTTP status the server layer translates this error into.
+    status = 500

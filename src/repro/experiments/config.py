@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 
 from repro.diffusion.factory import DEFAULT_ESTIMATOR_METHOD, ESTIMATOR_METHODS
 from repro.exceptions import ExperimentError
+from repro.utils.env import env_flag, env_int, env_str
 
 
 @dataclass(frozen=True)
@@ -114,3 +115,101 @@ class ExperimentConfig:
         from dataclasses import replace as dc_replace
 
         return dc_replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the campaign server (:mod:`repro.server`).
+
+    The server keeps compiled graphs, RNG-frozen samplers, warmed kernels and
+    one shared worker pool resident across requests; these knobs size that
+    resident state.  Every field has an environment override
+    (``REPRO_SERVER_*``, parsed through :mod:`repro.utils.env` so boolean
+    spellings like ``0``/``false`` behave as off) and a CLI flag on
+    ``repro serve``.
+    """
+
+    #: Bind address / port of the HTTP server.
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: Width of the resident :class:`~repro.diffusion.parallel.SharedShardPool`
+    #: every estimator registers on.  ``None``/``1`` evaluates in-process.
+    workers: Optional[int] = None
+    #: Solve-job worker threads draining the bounded job queue.
+    job_workers: int = 2
+    #: Bound of the job queue; submissions past it are rejected (HTTP 503)
+    #: instead of accumulating unbounded resident work.
+    max_queued_jobs: int = 64
+    #: Default Monte-Carlo worlds / RNG seed of scenarios that do not specify
+    #: their own at registration time.
+    num_samples: int = 200
+    seed: int = 2019
+    #: Estimator knobs threaded into every resident estimator (same semantics
+    #: as :class:`ExperimentConfig`).
+    shard_size: Optional[int] = None
+    pipeline_depth: Optional[int] = None
+    use_kernel: Optional[bool] = None
+    shared_memory: Optional[bool] = None
+    #: Compiled-graph cache directory for SNAP registrations (``None`` =
+    #: ``$REPRO_GRAPH_CACHE_DIR`` or ``~/.cache/repro-graphs``).
+    graph_cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (0 < self.port < 65536):
+            raise ExperimentError(f"port must be in (0, 65536), got {self.port}")
+        if self.workers is not None and self.workers <= 0:
+            raise ExperimentError(f"workers must be > 0 or None, got {self.workers}")
+        if self.job_workers <= 0:
+            raise ExperimentError(f"job_workers must be > 0, got {self.job_workers}")
+        if self.max_queued_jobs <= 0:
+            raise ExperimentError(
+                f"max_queued_jobs must be > 0, got {self.max_queued_jobs}"
+            )
+        if self.num_samples <= 0:
+            raise ExperimentError(f"num_samples must be > 0, got {self.num_samples}")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ExperimentError(
+                f"shard_size must be > 0 or None, got {self.shard_size}"
+            )
+        if self.pipeline_depth is not None and self.pipeline_depth <= 0:
+            raise ExperimentError(
+                f"pipeline_depth must be > 0 or None, got {self.pipeline_depth}"
+            )
+
+    def replace(self, **changes) -> "ServerConfig":
+        """Return a copy with some fields replaced."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServerConfig":
+        """Build a config from ``REPRO_SERVER_*`` variables, then overrides.
+
+        Explicit keyword overrides (the CLI flags) win over the environment;
+        ``None`` overrides are ignored so flag defaults don't mask env values.
+        """
+        values = {
+            "host": env_str("REPRO_SERVER_HOST", default=cls.host),
+            "port": env_int("REPRO_SERVER_PORT", default=cls.port),
+            "workers": env_int("REPRO_SERVER_WORKERS", default=None),
+            "job_workers": env_int("REPRO_SERVER_JOB_WORKERS", default=cls.job_workers),
+            "max_queued_jobs": env_int(
+                "REPRO_SERVER_MAX_QUEUE", default=cls.max_queued_jobs
+            ),
+            "num_samples": env_int("REPRO_SERVER_SAMPLES", default=cls.num_samples),
+            "seed": env_int("REPRO_SERVER_SEED", default=cls.seed),
+            "shard_size": env_int("REPRO_SERVER_SHARD_SIZE", default=None),
+            "pipeline_depth": env_int("REPRO_SERVER_PIPELINE_DEPTH", default=None),
+            "use_kernel": (
+                False if env_flag("REPRO_SERVER_NO_KERNEL") else None
+            ),
+            "shared_memory": (
+                False if env_flag("REPRO_SERVER_NO_SHARED_MEMORY") else None
+            ),
+            "graph_cache_dir": env_str("REPRO_SERVER_GRAPH_CACHE_DIR", default=None),
+        }
+        values.update(
+            {key: value for key, value in overrides.items() if value is not None}
+        )
+        return cls(**values)

@@ -1,0 +1,35 @@
+"""The campaign server: S3CA as a long-running service.
+
+Keeps compiled graphs, RNG-frozen world samplers, warmed kernels and one
+shared shard pool resident across requests, so the second solve of a
+registered scenario skips graph compile and kernel warm-up, and what-if
+queries are answered by the delta engine's snapshot/splice path instead of
+cold re-solves.
+
+Needs the optional ``server`` extra (``pip install 's3crm-repro[server]'``)
+for pydantic + an HTTP framework; everything here imports lazily so the base
+install never pays for it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CampaignService",
+    "CampaignApi",
+    "create_app",
+    "serve",
+    "available_framework",
+]
+
+
+def __getattr__(name: str):
+    # Lazy so `import repro` works without the server extra installed.
+    if name in ("CampaignService",):
+        from repro.server.service import CampaignService
+
+        return CampaignService
+    if name in ("CampaignApi", "create_app", "serve", "available_framework"):
+        from repro.server import app as _app
+
+        return getattr(_app, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

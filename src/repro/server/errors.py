@@ -1,0 +1,74 @@
+"""Error taxonomy of the campaign server, mapped onto HTTP statuses.
+
+Every failure the service layer can signal derives from
+:class:`repro.exceptions.ServerError` and carries the HTTP status the
+transport adapters (FastAPI or the Flask fallback, see
+:mod:`repro.server.app`) translate it into.  Keeping the taxonomy
+transport-free lets the service and its tests run without any web framework
+installed.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ServerError
+
+__all__ = [
+    "ServerError",
+    "InvalidRequest",
+    "UnknownScenario",
+    "UnknownJob",
+    "JobQueueFull",
+    "NoCompletedSolve",
+    "ServerUnavailable",
+]
+
+
+class InvalidRequest(ServerError):
+    """Request body failed validation (unknown node, bad combination, ...)."""
+
+    status = 422
+
+
+class UnknownScenario(ServerError):
+    """No registered scenario under the given id."""
+
+    status = 404
+
+    def __init__(self, scenario_id: str) -> None:
+        super().__init__(f"unknown scenario {scenario_id!r}")
+        self.scenario_id = scenario_id
+
+
+class UnknownJob(ServerError):
+    """No job under the given id."""
+
+    status = 404
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+
+class JobQueueFull(ServerError):
+    """The bounded solve queue is at capacity; retry later."""
+
+    status = 503
+
+
+class NoCompletedSolve(ServerError):
+    """A what-if query needs a completed solve to use as its base."""
+
+    status = 409
+
+    def __init__(self, scenario_id: str) -> None:
+        super().__init__(
+            f"scenario {scenario_id!r} has no completed solve to answer "
+            "what-if queries from; POST /scenarios/{id}/solve first"
+        )
+        self.scenario_id = scenario_id
+
+
+class ServerUnavailable(ServerError):
+    """No HTTP framework importable — install the ``server`` extra."""
+
+    status = 500

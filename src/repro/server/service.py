@@ -1,0 +1,332 @@
+"""The campaign service: S3CA as resident, request-driven state.
+
+:class:`CampaignService` is the transport-free core of the campaign server —
+the FastAPI/Flask adapters in :mod:`repro.server.app` are thin JSON shims
+over it, and the service tests drive it directly.  It owns
+
+* a :class:`~repro.server.state.ScenarioRegistry` of resident scenarios
+  (compiled graph + RNG-frozen estimator + warmed kernel each),
+* one :class:`~repro.diffusion.parallel.SharedShardPool` when configured
+  with ``workers > 1`` — every resident estimator registers on it, so
+  concurrent solves multiplex one set of worker processes, and
+* a bounded :class:`~repro.server.jobs.JobManager` running solves
+  asynchronously.
+
+What-if queries never re-run S3CA: additive coupon queries go through the
+:class:`~repro.diffusion.delta.DeltaCascadeEngine` snapshot/splice path
+(only the worlds the change can affect are re-simulated), and seed-drop /
+budget queries are answered by one warm pass over the resident worlds.
+Either way the answer is bit-identical to evaluating the modified deployment
+on a freshly built estimator with the same seed — the property the endpoint
+tests pin.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.deployment import Deployment
+from repro.core.s3ca import S3CA, S3CAResult
+from repro.diffusion.parallel import SharedShardPool
+from repro.experiments.config import ServerConfig
+from repro.graph.social_graph import SocialGraph
+from repro.server.errors import InvalidRequest, NoCompletedSolve
+from repro.server.jobs import Job, JobManager
+from repro.server.schemas import (
+    RegisterScenarioRequest,
+    SolveRequest,
+    WhatIfRequest,
+)
+from repro.server.state import ResidentScenario, ScenarioRegistry
+
+logger = logging.getLogger(__name__)
+
+NodeId = Hashable
+
+
+class CampaignService:
+    """Resident-state S3CA solver behind register/solve/poll/what-if calls."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.registry = ScenarioRegistry()
+        self.jobs = JobManager(self.config.job_workers, self.config.max_queued_jobs)
+        #: One pool for the whole server; estimators register on it and never
+        #: close it — the service owns its lifetime.
+        self.pool: Optional[SharedShardPool] = None
+        if self.config.workers is not None and self.config.workers > 1:
+            self.pool = SharedShardPool(self.config.workers)
+        self.started_at = time.time()
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register_scenario(self, request: RegisterScenarioRequest) -> Tuple[dict, bool]:
+        """Register (or dedupe) a scenario; returns ``(info, reused)``."""
+        entry, reused = self.registry.register(request, self.config)
+        info = entry.info()
+        info["reused"] = reused
+        return info, reused
+
+    def scenario_info(self, scenario_id: str) -> dict:
+        return self.registry.get(scenario_id).info()
+
+    def list_scenarios(self) -> List[dict]:
+        return [entry.info() for entry in self.registry.entries()]
+
+    # ------------------------------------------------------------------
+    # solve jobs
+    # ------------------------------------------------------------------
+
+    def enqueue_solve(self, scenario_id: str, request: SolveRequest) -> Job:
+        """Queue an asynchronous S3CA solve; returns the job handle."""
+        entry = self.registry.get(scenario_id)
+        job = self.jobs.submit(
+            "solve", scenario_id, lambda: self._run_solve(entry, request)
+        )
+        return job
+
+    def job_info(self, job_id: str) -> dict:
+        return self.jobs.get(job_id).as_dict()
+
+    def _run_solve(self, entry: ResidentScenario, request: SolveRequest) -> dict:
+        with entry.lock:
+            estimator, built = entry.ensure_estimator(self.config, self.pool)
+            kernel_compile_seconds = estimator.kernel_compile_seconds if built else 0.0
+            began = time.perf_counter()
+            algorithm = S3CA(
+                entry.scenario,
+                estimator=estimator,
+                candidate_limit=request.candidate_limit,
+                max_pivot_candidates=request.pivot_limit,
+                spend_full_budget=request.spend_full_budget,
+                incremental=request.incremental,
+            )
+            result = algorithm.solve()
+            solve_seconds = time.perf_counter() - began
+            entry.solves_completed += 1
+            entry.last_solve = result
+            payload = self._solve_payload(entry, result, request)
+            payload["timings"] = {
+                # Both are 0.0 on every solve after the first: the resident
+                # estimator already holds the compiled graph and the warmed
+                # kernel, which is the warm-start contract the tests assert.
+                "graph_compile_seconds": entry.graph_compile_seconds if built else 0.0,
+                "estimator_build_seconds": (
+                    entry.estimator_build_seconds if built else 0.0
+                ),
+                "kernel_compile_seconds": kernel_compile_seconds,
+                "solve_seconds": solve_seconds,
+                "phase_seconds": dict(result.phase_seconds),
+            }
+            payload["resident"] = {
+                "estimator_reused": not built,
+                "graph_compiles": entry.graph_compiles,
+                "estimator_builds": entry.estimator_builds,
+                "kernel_warmups": entry.kernel_warmups,
+                "kernel_backend": estimator.kernel_backend,
+                "shared_memory_active": estimator.shared_memory_active,
+                "pool_workers": self.pool.workers if self.pool is not None else 1,
+                "solves_completed": entry.solves_completed,
+            }
+            return payload
+
+    @staticmethod
+    def _solve_payload(
+        entry: ResidentScenario, result: S3CAResult, request: SolveRequest
+    ) -> dict:
+        return {
+            "scenario_id": entry.scenario_id,
+            "algorithm": "S3CA",
+            "options": request.model_dump(),
+            "seeds": sorted((str(node) for node in result.seeds)),
+            "allocation": {
+                str(node): int(count) for node, count in sorted(
+                    result.allocation.items(), key=lambda item: str(item[0])
+                )
+            },
+            "expected_benefit": float(result.expected_benefit),
+            "total_cost": float(result.total_cost),
+            "seed_cost": float(result.seed_cost),
+            "sc_cost": float(result.sc_cost),
+            "redemption_rate": float(result.redemption_rate),
+            "explored_nodes": int(result.explored_nodes),
+            "num_paths": int(result.num_paths),
+            "num_maneuvers": int(result.num_maneuvers),
+        }
+
+    # ------------------------------------------------------------------
+    # what-if queries
+    # ------------------------------------------------------------------
+
+    def whatif(self, scenario_id: str, request: WhatIfRequest) -> dict:
+        """Answer a what-if against the last solve, from resident state.
+
+        Additive coupon queries are answered through the delta engine's
+        snapshot/splice path; seed drops (and mixed queries) by one warm
+        pass over the resident worlds.  Both are bit-identical to evaluating
+        the modified deployment on a cold estimator with the same seed.
+        """
+        entry = self.registry.get(scenario_id)
+        with entry.lock:
+            base = entry.last_solve
+            if base is None or entry.estimator is None:
+                raise NoCompletedSolve(scenario_id)
+            began = time.perf_counter()
+            graph = entry.scenario.graph
+            base_seeds: Set[NodeId] = set(base.deployment.seeds)
+            base_alloc: Dict[NodeId, int] = dict(base.deployment.allocation.as_dict())
+
+            drop = {_resolve_node(graph, raw) for raw in request.drop_seeds}
+            missing = drop - base_seeds
+            if missing:
+                raise InvalidRequest(
+                    f"drop_seeds not in the solved seed set: "
+                    f"{sorted(map(str, missing))}"
+                )
+            extra = {
+                _resolve_node(graph, raw): int(count)
+                for raw, count in request.extra_coupons.items()
+            }
+
+            new_seeds = base_seeds - drop
+            new_alloc = dict(base_alloc)
+            for node, count in extra.items():
+                new_alloc[node] = new_alloc.get(node, 0) + count
+
+            estimator = entry.estimator
+            if extra and not drop and estimator.supports_incremental:
+                answered_by = "delta-splice"
+                benefit = self._delta_chain_benefit(
+                    estimator, base_seeds, base_alloc, extra
+                )
+            else:
+                # Seed drops have no delta form (the snapshot only grows);
+                # one pass over the already-resident worlds answers them —
+                # warm state, not a cold resolve.
+                answered_by = "warm-pass"
+                benefit = estimator.expected_benefit(new_seeds, new_alloc)
+
+            budget = entry.scenario.budget_limit + request.budget_delta
+            if budget <= 0:
+                raise InvalidRequest(
+                    f"budget_delta {request.budget_delta:g} drives the budget "
+                    f"non-positive ({budget:g})"
+                )
+            modified = Deployment(graph, new_seeds, new_alloc)
+            entry.whatifs_answered += 1
+            payload = {
+                "scenario_id": entry.scenario_id,
+                "answered_by": answered_by,
+                "query": request.model_dump(),
+                "base": self._deployment_summary(
+                    base.deployment,
+                    float(base.expected_benefit),
+                    entry.scenario.budget_limit,
+                ),
+                "modified": self._deployment_summary(modified, float(benefit), budget),
+                "seconds": time.perf_counter() - began,
+            }
+            return payload
+
+    @staticmethod
+    def _delta_chain_benefit(
+        estimator,
+        base_seeds: Set[NodeId],
+        base_alloc: Dict[NodeId, int],
+        extra: Dict[NodeId, int],
+    ) -> float:
+        """Benefit of base + extra coupons via iterated snapshot/splice.
+
+        Each coupon unit is delta-evaluated against the current snapshot
+        (only its dirty worlds re-simulate) and the accepted outcome is
+        spliced in, exactly the ID phase's advance discipline — so the final
+        benefit is bit-identical to a fresh evaluation of the full
+        deployment, without one full pass per unit.
+        """
+        units: List[NodeId] = []
+        for node, count in sorted(extra.items(), key=lambda item: str(item[0])):
+            units.extend([node] * count)
+        benefit = estimator.snapshot_base(base_seeds, base_alloc)
+        current = dict(base_alloc)
+        for position, node in enumerate(units):
+            nxt = dict(current)
+            nxt[node] = nxt.get(node, 0) + 1
+            outcome = estimator.delta_extra_coupon(
+                base_seeds, current, node, base_seeds, nxt
+            )
+            benefit = outcome.benefit
+            if position < len(units) - 1:
+                benefit = estimator.advance_base(outcome, node, base_seeds, nxt)
+            current = nxt
+        return float(benefit)
+
+    @staticmethod
+    def _deployment_summary(
+        deployment: Deployment, benefit: float, budget: float
+    ) -> dict:
+        cost = deployment.total_cost()
+        return {
+            "seeds": sorted(str(node) for node in deployment.seeds),
+            "total_coupons": int(deployment.total_coupons),
+            "expected_benefit": benefit,
+            "total_cost": float(cost),
+            "redemption_rate": benefit / cost if cost > 0 else 0.0,
+            "budget": float(budget),
+            "feasible": deployment.fits_budget(budget),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "scenarios": len(self.registry),
+            "jobs": len(self.jobs.jobs()),
+            "pool_workers": self.pool.workers if self.pool is not None else 1,
+            "job_workers": self.config.job_workers,
+            "max_queued_jobs": self.config.max_queued_jobs,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the server state down: jobs, estimators, then the pool."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.jobs.close()
+        self.registry.close()
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _resolve_node(graph: SocialGraph, raw: str) -> NodeId:
+    """Map a JSON (string) node id back into the graph's id space."""
+    if raw in graph:
+        return raw
+    try:
+        as_int = int(raw)
+    except (TypeError, ValueError):
+        as_int = None
+    if as_int is not None and as_int in graph:
+        return as_int
+    raise InvalidRequest(f"unknown node {raw!r}")

@@ -1,0 +1,72 @@
+"""Parsing of ``REPRO_*`` environment knobs.
+
+Every boolean-style environment switch in the package goes through
+:func:`env_flag` so that the usual "off" spellings behave as off everywhere:
+``REPRO_NO_NATIVE_KERNEL=0`` must *enable* the native kernel, exactly like
+leaving the variable unset, not disable it the way a naive
+``bool(os.environ.get(...))`` would.  Numeric knobs go through
+:func:`env_int`, which treats the empty string as unset and rejects garbage
+with a clear error instead of a deep ``ValueError`` later.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+logger = logging.getLogger(__name__)
+
+#: Spellings parsed as "flag is off" — including the empty string, so
+#: ``REPRO_FOO= repro ...`` behaves like not exporting the variable at all.
+FALSY = frozenset({"", "0", "false", "no", "off"})
+
+#: Spellings parsed as "flag is on".
+TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def parse_flag(raw: Optional[str], *, default: bool = False, name: str = "") -> bool:
+    """Parse one boolean-style knob value; ``None`` means unset."""
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in FALSY:
+        return False
+    if value in TRUTHY:
+        return True
+    logger.debug(
+        "unrecognised boolean value %r for %s; treating as set", raw, name or "flag"
+    )
+    return True
+
+
+def env_flag(name: str, *, default: bool = False) -> bool:
+    """Whether the boolean environment knob ``name`` is on.
+
+    ``"0"``, ``""``, ``"false"``, ``"no"`` and ``"off"`` (any case, padded or
+    not) parse as off; ``"1"``/``"true"``/``"yes"``/``"on"`` as on.  Any other
+    non-empty value is treated as on (the historical "set means set"
+    behaviour) with a debug log so typos are discoverable.
+    """
+    return parse_flag(os.environ.get(name), default=default, name=name)
+
+
+def env_int(name: str, *, default: Optional[int] = None) -> Optional[int]:
+    """Integer environment knob; unset or empty returns ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def env_str(name: str, *, default: Optional[str] = None) -> Optional[str]:
+    """String environment knob; unset or empty returns ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip()

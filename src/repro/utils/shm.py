@@ -7,9 +7,10 @@ directly:
 * **Untracked segments.**  ``multiprocessing.resource_tracker`` unlinks every
   tracked segment when *any* process that touched it exits — so a worker
   attaching to the parent's graph would destroy it for everyone on worker
-  exit (bpo-38119).  Segments created or attached through this module are
-  unregistered from the tracker (or created with ``track=False`` on Python
-  3.13+); lifetime is managed explicitly by the owner instead.
+  exit (bpo-38119).  Segments created or attached through this module never
+  reach the tracker at all (``track=False`` on Python 3.13+, tracker calls
+  suppressed during open/unlink before that); lifetime is managed explicitly
+  by the owner instead.
 * **Owner-side sweep.**  Each creating process records the segments it owns
   in a PID-guarded registry; :func:`sweep_owned` unlinks them and runs at
   interpreter exit via :mod:`atexit`, so an owner that forgets to clean up
@@ -31,11 +32,16 @@ to leak anything — the parent's sweep still covers every segment.
 from __future__ import annotations
 
 import atexit
+import contextlib
+import logging
 import os
 import secrets
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 try:  # pragma: no cover - the standard library always has it on Linux/macOS
     from multiprocessing import resource_tracker as _resource_tracker
@@ -68,14 +74,37 @@ def shared_memory_available() -> bool:
     return _SharedMemory is not None
 
 
-def _untrack(segment) -> None:
-    """Detach ``segment`` from the resource tracker (bpo-38119 workaround)."""
+_tracker_mutex = threading.Lock()
+
+
+@contextlib.contextmanager
+def _tracker_suppressed():
+    """No-op the resource tracker for the duration (bpo-38119 workaround).
+
+    Pre-3.13 ``SharedMemory`` unconditionally registers every open — create
+    *and* attach — with the resource tracker, and ``unlink`` unregisters.
+    Every process of the tree talks to one tracker whose name cache is a
+    plain set, so the register/unregister pairs of concurrent workers
+    interleave: two registers collapse into one entry and the second
+    unregister makes the tracker print a ``KeyError`` traceback (and at
+    shutdown it "cleans up" segments it never owned).  This module manages
+    segment lifetime explicitly through the PID-guarded owner registry, so
+    the tracker must simply never hear about our segments: suppress the
+    calls at the source rather than unregistering after the fact.
+    """
     if _SUPPORTS_TRACK or _resource_tracker is None:
+        yield
         return
-    try:
-        _resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    with _tracker_mutex:
+        saved_register = _resource_tracker.register
+        saved_unregister = _resource_tracker.unregister
+        _resource_tracker.register = lambda name, rtype: None
+        _resource_tracker.unregister = lambda name, rtype: None
+        try:
+            yield
+        finally:
+            _resource_tracker.register = saved_register
+            _resource_tracker.unregister = saved_unregister
 
 
 if _SharedMemory is not None:
@@ -93,8 +122,12 @@ if _SharedMemory is not None:
         def __del__(self):
             try:
                 super().__del__()
-            except Exception:
-                pass
+            except (BufferError, OSError) as error:
+                # BufferError: live numpy views still pin the mapping (the
+                # pages are released when they die).  OSError: the fd was
+                # already closed by an explicit close().  Both are expected
+                # at teardown; anything else should surface.
+                logger.debug("segment destructor swallowed %r", error)
 
         def close(self):
             try:
@@ -115,16 +148,11 @@ if _SharedMemory is not None:
                 raise
 
         def unlink(self):
-            # Pre-3.13 ``unlink`` unconditionally tells the resource tracker
-            # to unregister the name; since this module already untracked it
-            # at open time, that message would make the tracker process log a
-            # KeyError traceback.  Re-register first so the pair balances.
-            if not _SUPPORTS_TRACK and _resource_tracker is not None:
-                try:
-                    _resource_tracker.register(self._name, "shared_memory")
-                except Exception:  # pragma: no cover - tracker internals vary
-                    pass
-            super().unlink()
+            # The segment was opened with the tracker suppressed, so the
+            # unregister message the base unlink would send is unbalanced —
+            # suppress it the same way.
+            with _tracker_suppressed():
+                super().unlink()
 
 else:  # pragma: no cover - exotic platforms only
     _Segment = None
@@ -133,10 +161,10 @@ else:  # pragma: no cover - exotic platforms only
 def _open_segment(name: str, create: bool, size: int = 0):
     if _SharedMemory is None:  # pragma: no cover - exotic platforms only
         raise OSError("multiprocessing.shared_memory is unavailable")
-    kwargs = {"track": False} if _SUPPORTS_TRACK else {}
-    segment = _Segment(name=name, create=create, size=size, **kwargs)
-    _untrack(segment)
-    return segment
+    if _SUPPORTS_TRACK:
+        return _Segment(name=name, create=create, size=size, track=False)
+    with _tracker_suppressed():
+        return _Segment(name=name, create=create, size=size)
 
 
 def create_segment(name: Optional[str], size: int):

@@ -1,0 +1,198 @@
+"""HTTP-level tests of the campaign server endpoints.
+
+Run against whichever framework is importable: FastAPI through its
+``TestClient`` (the CI ``server`` extra) or the Flask fallback through
+``test_client()``.  A tiny shim gives both the same ``get_json``/``post``
+surface, so every assertion below exercises the real route table, status
+mapping and JSON bodies of the app the chosen framework serves.
+"""
+
+import pytest
+
+pytest.importorskip("pydantic", reason="server tests need the 'server' extra")
+
+from repro.experiments.config import ServerConfig
+from repro.server.app import available_framework, create_app
+from repro.server.service import CampaignService
+
+FRAMEWORK = available_framework()
+if FRAMEWORK is None:  # pragma: no cover - neither fastapi nor flask present
+    pytest.skip("no HTTP framework available", allow_module_level=True)
+
+TINY = {"dataset": "facebook", "scale": 0.08}
+TINY_SOLVE = {"candidate_limit": 3, "pivot_limit": 6}
+
+
+class _Client:
+    """Uniform json-in/json-out client over FastAPI and Flask test clients."""
+
+    def __init__(self, app):
+        self.framework = app.repro_framework
+        if self.framework == "fastapi":
+            from fastapi.testclient import TestClient
+
+            self._client = TestClient(app, raise_server_exceptions=False)
+        else:
+            self._client = app.test_client()
+
+    def get(self, path):
+        response = self._client.get(path)
+        return self._normalise(response)
+
+    def post(self, path, json=None):
+        response = self._client.post(path, json=json if json is not None else {})
+        return self._normalise(response)
+
+    def _normalise(self, response):
+        if self.framework == "fastapi":
+            return response.status_code, response.json()
+        return response.status_code, response.get_json()
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = CampaignService(ServerConfig(num_samples=15, seed=3, job_workers=2))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return _Client(create_app(service=service))
+
+
+@pytest.fixture(scope="module")
+def scenario_id(client):
+    status, body = client.post("/scenarios", json=TINY)
+    assert status in (200, 201)
+    return body["scenario_id"]
+
+
+def _solve_and_wait(client, service, scenario_id):
+    status, body = client.post(f"/scenarios/{scenario_id}/solve", json=TINY_SOLVE)
+    assert status == 202
+    job = service.jobs.wait(body["job_id"], timeout=120)
+    assert job.status == "done", job.error
+    status, body = client.get(f"/jobs/{body['job_id']}")
+    assert status == 200
+    return body
+
+
+def test_health(client):
+    status, body = client.get("/health")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["job_workers"] == 2
+
+
+def test_register_then_dedupe(client, scenario_id):
+    status, body = client.post("/scenarios", json=TINY)
+    assert status == 200  # second registration of the same inputs: reused
+    assert body["scenario_id"] == scenario_id
+    assert body["reused"] is True
+
+    status, body = client.get("/scenarios")
+    assert status == 200
+    assert any(s["scenario_id"] == scenario_id for s in body["scenarios"])
+
+    status, body = client.get(f"/scenarios/{scenario_id}")
+    assert status == 200
+    assert body["nodes"] > 0
+
+
+def test_register_validation_maps_to_422(client):
+    status, body = client.post("/scenarios", json={})
+    assert status == 422
+    assert body["error"] == "InvalidRequest"
+    status, _ = client.post(
+        "/scenarios", json={"dataset": "facebook", "scale": -1.0}
+    )
+    assert status == 422
+
+
+def test_whatif_before_solve_is_409(client, scenario_id):
+    status, body = client.post(
+        f"/scenarios/{scenario_id}/whatif", json={"budget_delta": 5.0}
+    )
+    assert status == 409
+    assert body["error"] == "NoCompletedSolve"
+
+
+def test_solve_poll_and_warm_restart(client, service, scenario_id):
+    first = _solve_and_wait(client, service, scenario_id)
+    assert first["status"] == "done"
+    result = first["result"]
+    assert result["expected_benefit"] > 0
+    assert result["resident"]["estimator_reused"] is False
+
+    second = _solve_and_wait(client, service, scenario_id)
+    warm = second["result"]
+    # The acceptance property over the wire: the second solve of a
+    # registered scenario skips graph compile and kernel warm-up.
+    assert warm["resident"]["estimator_reused"] is True
+    assert warm["timings"]["graph_compile_seconds"] == 0.0
+    assert warm["timings"]["kernel_compile_seconds"] == 0.0
+    assert warm["resident"]["graph_compiles"] == 1
+    assert warm["expected_benefit"] == result["expected_benefit"]
+
+
+def test_whatif_over_http(client, service, scenario_id):
+    solved = _solve_and_wait(client, service, scenario_id)
+    seeds = solved["result"]["seeds"]
+    status, body = client.post(
+        f"/scenarios/{scenario_id}/whatif",
+        json={"extra_coupons": {seeds[0]: 1}},
+    )
+    assert status == 200
+    assert body["answered_by"] == "delta-splice"
+    assert body["modified"]["total_coupons"] == body["base"]["total_coupons"] + 1
+
+    status, body = client.post(
+        f"/scenarios/{scenario_id}/whatif", json={"drop_seeds": [seeds[0]]}
+    )
+    assert status == 200
+    assert body["answered_by"] == "warm-pass"
+    assert seeds[0] not in body["modified"]["seeds"]
+
+
+def test_whatif_validation_maps_to_422(client, service, scenario_id):
+    _solve_and_wait(client, service, scenario_id)
+    status, body = client.post(f"/scenarios/{scenario_id}/whatif", json={})
+    assert status == 422
+    status, body = client.post(
+        f"/scenarios/{scenario_id}/whatif",
+        json={"extra_coupons": {"999999": 1}},
+    )
+    assert status == 422
+    assert "unknown node" in body["detail"]
+
+
+def test_unknown_ids_map_to_404(client):
+    assert client.get("/scenarios/s-missing")[0] == 404
+    assert client.get("/jobs/solve-999999")[0] == 404
+    assert client.post("/scenarios/s-missing/solve", json={})[0] == 404
+    assert client.post("/scenarios/s-missing/whatif", json={"budget_delta": 1})[0] == 404
+
+
+def test_queue_full_maps_to_503():
+    import threading
+
+    service = CampaignService(
+        ServerConfig(num_samples=15, seed=3, job_workers=1, max_queued_jobs=1)
+    )
+    try:
+        client = _Client(create_app(service=service))
+        status, body = client.post("/scenarios", json=TINY)
+        sid = body["scenario_id"]
+        release = threading.Event()
+        service.jobs.submit("block", sid, release.wait)  # occupy the worker
+        import time
+
+        time.sleep(0.05)
+        assert client.post(f"/scenarios/{sid}/solve", json=TINY_SOLVE)[0] == 202
+        status, body = client.post(f"/scenarios/{sid}/solve", json=TINY_SOLVE)
+        assert status == 503
+        assert body["error"] == "JobQueueFull"
+        release.set()
+    finally:
+        service.close()

@@ -88,3 +88,165 @@ def test_parser_accepts_scaling_flags():
     args = parser.parse_args(["solve", "--shard-size", "16", "--workers", "4"])
     assert args.shard_size == 16
     assert args.workers == 4
+
+
+# ----------------------------------------------------------------------
+# parse-time validation of scaling knobs
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("flag", ["--workers", "--shard-size", "--pipeline-depth"])
+@pytest.mark.parametrize("value", ["0", "-1", "-128"])
+def test_non_positive_scaling_knobs_rejected_at_parse_time(flag, value, capsys):
+    """0/negative worker or shard counts are argparse errors, not deep crashes."""
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["solve", flag, value])
+    assert excinfo.value.code == 2
+    assert "must be a positive integer" in capsys.readouterr().err
+
+
+def test_non_integer_scaling_knob_rejected(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["solve", "--workers", "many"])
+    assert "is not an integer" in capsys.readouterr().err
+
+
+def test_serve_parser_knobs():
+    parser = build_parser()
+    args = parser.parse_args([
+        "serve", "--host", "0.0.0.0", "--port", "9999", "--workers", "2",
+        "--job-workers", "3", "--max-queue", "5",
+    ])
+    assert args.command == "serve"
+    assert args.host == "0.0.0.0"
+    assert args.port == 9999
+    assert args.workers == 2
+    assert args.job_workers == 3
+    assert args.max_queue == 5
+
+
+def test_serve_parser_rejects_bad_port(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve", "--port", "0"])
+    assert "must be a positive integer" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# interrupt / broken-pipe exit paths
+# ----------------------------------------------------------------------
+
+
+def test_main_keyboard_interrupt_returns_130(monkeypatch, capsys):
+    """Ctrl-C mid-solve: exit 130, a one-line notice, no traceback."""
+    import repro.cli as cli
+
+    def interrupted(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(cli._COMMANDS, "solve", interrupted)
+    assert main(["solve", "--dataset", "facebook", *TINY]) == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_main_keyboard_interrupt_releases_pools(monkeypatch):
+    """The interrupt path tears down live pools and owned shm segments."""
+    import repro.cli as cli
+
+    calls = []
+    monkeypatch.setitem(
+        cli._COMMANDS, "solve", lambda args: (_ for _ in ()).throw(KeyboardInterrupt)
+    )
+    import repro.diffusion.parallel as parallel
+    import repro.utils.shm as shm
+
+    monkeypatch.setattr(
+        parallel, "shutdown_live_pools", lambda: calls.append("pools") or 0
+    )
+    monkeypatch.setattr(shm, "sweep_owned", lambda: calls.append("shm") or 0)
+    assert main(["solve", "--dataset", "facebook", *TINY]) == 130
+    assert calls == ["pools", "shm"]
+
+
+def test_main_broken_pipe_returns_141(monkeypatch):
+    """`repro ... | head` must exit with the SIGPIPE code, not a traceback."""
+    import repro.cli as cli
+
+    monkeypatch.setitem(
+        cli._COMMANDS, "solve", lambda args: (_ for _ in ()).throw(BrokenPipeError)
+    )
+    # Keep pytest's captured stdout intact: the dup2 dance is only for real
+    # pipes, not in-process tests.
+    monkeypatch.setattr(cli, "_suppress_broken_pipe", lambda: None)
+    assert main(["solve", "--dataset", "facebook", *TINY]) == 141
+
+
+def test_shutdown_live_pools_closes_everything():
+    from repro.diffusion.parallel import (
+        SharedShardPool,
+        live_pool_count,
+        shutdown_live_pools,
+    )
+
+    pool = SharedShardPool(2)
+    assert live_pool_count() >= 1
+    closed = shutdown_live_pools()
+    assert closed >= 1
+    assert pool.closed
+    assert shutdown_live_pools() == 0  # idempotent
+
+
+@pytest.mark.skipif(not hasattr(__import__("signal"), "SIGINT"), reason="posix only")
+def test_sigint_mid_solve_exits_clean(tmp_path):
+    """SIGINT during a multi-worker solve: exit 130, no shm residue left.
+
+    Runs the real CLI in a subprocess, interrupts it while workers are busy,
+    and checks the three acceptance properties: exit code 130, no Python
+    traceback, and no new /dev/shm/repro-* segments surviving the process.
+    """
+    import glob
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    before = set(glob.glob("/dev/shm/repro-*"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "solve",
+            "--dataset", "facebook", "--scale", "1.0", "--samples", "400",
+            "--workers", "2", "--seed", "3",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        start_new_session=True,
+        text=True,
+    )
+    try:
+        time.sleep(4.0)  # let the pool spin up and the solve get going
+        if process.poll() is not None:  # pragma: no cover - solve too fast
+            pytest.skip("solve finished before the interrupt could land")
+        process.send_signal(signal.SIGINT)
+        try:
+            _, stderr = process.communicate(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+            process.kill()
+            pytest.fail("CLI did not exit within 30s of SIGINT")
+        assert process.returncode == 130, stderr
+        assert "Traceback" not in stderr, stderr
+        assert "interrupted" in stderr
+        leaked = set(glob.glob("/dev/shm/repro-*")) - before
+        assert not leaked, f"shm segments leaked past SIGINT: {sorted(leaked)}"
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup fallback
+            os.killpg(process.pid, signal.SIGKILL)
