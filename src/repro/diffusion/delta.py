@@ -134,6 +134,7 @@ class DeltaCascadeEngine:
 
     def __init__(self, engine: CompiledCascadeEngine) -> None:
         self.engine = engine
+        self._base_seeds: List[NodeId] = []
         self._base_seed_indices: List[int] = []
         self._base_alloc: Dict[NodeId, int] = {}
         self._base_coupons: List[int] = [0] * engine.compiled.num_nodes
@@ -150,6 +151,11 @@ class DeltaCascadeEngine:
         self.snapshot_passes = 0
         self.spliced_advances = 0
         self.spliced_seed_advances = 0
+        #: Graph-event reconciliations absorbed without a snapshot pass, and
+        #: how many (dirty) worlds they re-simulated in total — the proof
+        #: that graph churn does not cost cold resolves.
+        self.reconcile_passes = 0
+        self.reconciled_worlds = 0
 
     @property
     def has_snapshot(self) -> bool:
@@ -180,8 +186,11 @@ class DeltaCascadeEngine:
         num_nodes = compiled.num_nodes
 
         # Same canonical seed order as CompiledCascadeEngine.run, so every
-        # delta query built from an equal seed set matches the snapshot.
-        self._base_seed_indices = compiled.indices_of(sorted(seeds, key=str))
+        # delta query built from an equal seed set matches the snapshot.  The
+        # identifier list is kept too: graph-event reconciliation re-resolves
+        # it against the evolved graph.
+        self._base_seeds = sorted(seeds, key=str)
+        self._base_seed_indices = compiled.indices_of(self._base_seeds)
         self._base_alloc = {
             node: int(count) for node, count in allocation.items() if int(count) > 0
         }
@@ -605,6 +614,28 @@ class DeltaCascadeEngine:
         )
         self.spliced_seed_advances += 1
         return self.base_benefit
+
+    def reconcile(self, application, dirty_mask: np.ndarray) -> Optional[float]:
+        """Advance the snapshot across a graph-event application.
+
+        The engine must already have been evolved
+        (:meth:`CompiledCascadeEngine.apply_events`); ``dirty_mask`` flags
+        the worlds whose live-edge draws touch a changed edge.  Only those
+        are re-simulated — the clean worlds' recorded queues, limited lists
+        and per-node world indices are carried over (index-remapped when
+        nodes were retired) by pure bookkeeping.  The resulting snapshot
+        state is bit-identical to :meth:`snapshot` on the new graph from
+        scratch; see :mod:`repro.diffusion.reconcile` for the argument.
+
+        Returns the new base benefit, or ``None`` when the deployment does
+        not survive the remap cleanly (e.g. a previously-unknown seed id now
+        resolves) — the caller then falls back to a fresh :meth:`snapshot`.
+        Raises :class:`EstimationError` when the batch retired a base seed
+        or an active coupon holder, which has no well-defined reconciliation.
+        """
+        from repro.diffusion.reconcile import reconcile_snapshot
+
+        return reconcile_snapshot(self, application, dirty_mask)
 
     # ------------------------------------------------------------------
     # internals

@@ -47,6 +47,8 @@ order while the engine accumulates in activation order.
 from __future__ import annotations
 
 import copy
+import hashlib
+import pickle
 import warnings
 import weakref
 from collections import OrderedDict
@@ -173,9 +175,24 @@ class WorldSampler:
     :meth:`draw_block` publishes each block to shared memory exactly once
     machine-wide — attachers get bit-identical zero-copy views, and any
     process that cannot attach simply draws privately.
+
+    Layered streams (dynamic graphs)
+    --------------------------------
+    ``layers`` is a tuple of ``(frozen_state, width)`` pairs partitioning the
+    draw-position space: layer ``k`` covers positions ``sum(widths[:k]) ..
+    sum(widths[:k]) + width_k - 1``, and world ``w``'s draws at those
+    positions are ``width_k`` doubles taken from layer ``k``'s own stream
+    advanced ``w × width_k``.  A fresh sampler has a single layer of width
+    ``compiled.num_draws`` — bit-identical to the historic flat stream.  When
+    the graph evolves through an event batch, :meth:`rekey` appends one new
+    layer covering exactly the new edges' draw positions: every surviving
+    edge keeps its position inside the old layers and therefore sees the
+    *identical* coin flip in every world across graph versions, which is
+    what lets snapshot reconciliation (:mod:`repro.diffusion.reconcile`)
+    prove most worlds unchanged without re-simulating them.
     """
 
-    __slots__ = ("compiled", "bit_generator_class", "state", "store")
+    __slots__ = ("compiled", "bit_generator_class", "state", "store", "layers")
 
     def __init__(
         self, compiled: CompiledGraph, seed: SeedLike = None, *, store=None
@@ -186,13 +203,22 @@ class WorldSampler:
         self.bit_generator_class = type(bit_generator)
         self.state = copy.deepcopy(bit_generator.state)
         self.store = store
+        self.layers: Tuple[Tuple[object, int], ...] = (
+            (self.state, int(compiled.num_draws)),
+        )
 
-    def generator_at(self, world_index: int) -> np.random.Generator:
-        """A generator positioned at the first coin flip of ``world_index``."""
+    # ------------------------------------------------------------------
+    # layered stream plumbing
+    # ------------------------------------------------------------------
+
+    def _layer_generator(
+        self, state, width: int, world_index: int
+    ) -> np.random.Generator:
+        """A generator positioned at world ``world_index``'s draws of a layer."""
         bit_generator = self.bit_generator_class()
-        bit_generator.state = copy.deepcopy(self.state)
+        bit_generator.state = copy.deepcopy(state)
         generator = np.random.Generator(bit_generator)
-        skip = world_index * self.compiled.num_edges
+        skip = world_index * width
         if skip:
             advance = getattr(bit_generator, "advance", None)
             if advance is not None:
@@ -200,6 +226,117 @@ class WorldSampler:
             else:
                 _discard_draws(generator, skip)
         return generator
+
+    def _layer_state(self, layer_index: int):
+        """A frozen state for a fresh, non-overlapping stream layer.
+
+        Derived deterministically from the base state so that every process
+        (parent, pool workers, a reconnecting server) rekeys to the *same*
+        layer: primarily via ``bit_generator.jumped(layer_index)`` (PCG64 &
+        friends — jumps are astronomically far from the base stream), with a
+        content-hash fallback for bit generators without ``jumped``.  The
+        fallback hashes the pickled base state (never Python's per-process
+        randomised ``hash()``), so it is equally stable across processes.
+        """
+        bit_generator = self.bit_generator_class()
+        bit_generator.state = copy.deepcopy(self.state)
+        jumped = getattr(bit_generator, "jumped", None)
+        if jumped is not None:
+            try:
+                return copy.deepcopy(jumped(layer_index).state)
+            except TypeError:  # pragma: no cover - exotic bit generators
+                pass
+        payload = pickle.dumps(
+            (self.bit_generator_class.__name__, self.state, layer_index),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        entropy = int.from_bytes(hashlib.sha256(payload).digest(), "big")
+        seeded = self.bit_generator_class(np.random.SeedSequence(entropy))
+        return copy.deepcopy(seeded.state)
+
+    def rekey(self, compiled: CompiledGraph, num_new_draws: int) -> "WorldSampler":
+        """The evolved-graph sampler: same layers plus one for the new edges.
+
+        ``compiled`` must be the evolved snapshot; its ``num_draws`` is the
+        old width plus ``num_new_draws``.  The returned sampler has no store
+        attached (the world universe changed, so the block fingerprint must
+        change with it — the engine wires a fresh store itself).
+        """
+        total = sum(width for _, width in self.layers) + int(num_new_draws)
+        if total != compiled.num_draws:
+            raise EstimationError(
+                f"rekey width mismatch: layers cover {total} draw positions, "
+                f"evolved graph needs {compiled.num_draws}"
+            )
+        clone = object.__new__(WorldSampler)
+        clone.compiled = compiled
+        clone.bit_generator_class = self.bit_generator_class
+        clone.state = self.state
+        clone.store = None
+        clone.layers = self.layers
+        if num_new_draws:
+            clone.layers = self.layers + (
+                (self._layer_state(len(self.layers)), int(num_new_draws)),
+            )
+        return clone
+
+    def with_compiled(self, compiled: CompiledGraph) -> "WorldSampler":
+        """A store-less clone drawing the same worlds on ``compiled``.
+
+        ``compiled`` must describe the same draw universe (same
+        ``num_draws``); typically it is the shared-memory twin of this
+        sampler's graph, or vice versa.
+        """
+        if compiled.num_draws != self.compiled.num_draws:
+            raise EstimationError(
+                f"sampler covers {self.compiled.num_draws} draw positions, "
+                f"graph needs {compiled.num_draws}"
+            )
+        clone = object.__new__(WorldSampler)
+        clone.compiled = compiled
+        clone.bit_generator_class = self.bit_generator_class
+        clone.state = self.state
+        clone.store = None
+        clone.layers = self.layers
+        return clone
+
+    def generator_at(self, world_index: int) -> np.random.Generator:
+        """A generator at the first *base-layer* coin flip of ``world_index``."""
+        state, width = self.layers[0]
+        return self._layer_generator(state, width, world_index)
+
+    def draws_at(self, positions: np.ndarray, num_worlds: int) -> np.ndarray:
+        """The coin-flip draws at given positions, for every world.
+
+        Returns a ``(num_worlds, len(positions))`` float64 array:
+        ``out[w, i]`` is world ``w``'s draw at flat position ``positions[i]``.
+        This is the dirty-world probe of snapshot reconciliation — layers
+        containing no queried position are skipped entirely, and within a
+        queried layer only the prefix up to its last queried position is
+        generated per world (the remainder advances without generation).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        out = np.empty((int(num_worlds), positions.shape[0]), dtype=np.float64)
+        low = 0
+        for state, width in self.layers:
+            high = low + width
+            selected = np.flatnonzero((positions >= low) & (positions < high))
+            if selected.size:
+                local = positions[selected] - low
+                need = int(local.max()) + 1
+                generator = self._layer_generator(state, width, 0)
+                advance = getattr(generator.bit_generator, "advance", None)
+                remainder = width - need
+                for world in range(int(num_worlds)):
+                    draws = generator.random(need)
+                    out[world, selected] = draws[local]
+                    if remainder:
+                        if advance is not None:
+                            advance(remainder)
+                        else:
+                            _discard_draws(generator, remainder)
+            low = high
+        return out
 
     def draw_block(self, start: int, count: int) -> FlatWorldBlock:
         """Worlds ``start .. start+count-1`` as one flat block.
@@ -218,17 +355,30 @@ class WorldSampler:
     def draw_block_private(self, start: int, count: int) -> FlatWorldBlock:
         """Materialise a block into process-private arrays (the raw draw)."""
         compiled = self.compiled
-        generator = self.generator_at(start)
-        num_edges = compiled.num_edges
+        layers = self.layers
         indptr = compiled.indptr
         indices = compiled.indices
         edge_pos = compiled.edge_pos
         probs = compiled.probs
+        generators = [
+            self._layer_generator(state, width, start) for state, width in layers
+        ]
+        single = len(layers) == 1
+        draws = (
+            None if single else np.empty(compiled.num_draws, dtype=np.float64)
+        )
         target_parts: List[np.ndarray] = []
         offsets = np.empty((count, compiled.num_nodes + 1), dtype=np.int64)
         base = 0
         for slot in range(count):
-            draws = generator.random(num_edges)  # graph.edges() order
+            if single:
+                # One flat stream in graph.edges() order — the historic draw.
+                draws = generators[0].random(layers[0][1])
+            else:
+                low = 0
+                for generator, (_, width) in zip(generators, layers):
+                    draws[low : low + width] = generator.random(width)
+                    low += width
             live_slots = np.flatnonzero(draws[edge_pos] < probs)
             target_parts.append(indices[live_slots].astype(np.int32, copy=False))
             row = offsets[slot]
@@ -389,6 +539,13 @@ class CompiledCascadeEngine:
         falling back when the platform has no shared memory); ``False``
         forces the historic private-copy transport.  Results are
         bit-identical either way — the knob only moves bytes.
+    sampler:
+        Optional pre-built :class:`WorldSampler` to draw worlds from
+        (``seed`` is then ignored).  This is how a *cold* engine is built on
+        the exact world universe of an evolved sampler — e.g. the
+        reconciliation parity suites constructing the reference resolve of a
+        mutated graph — and how layered (post-event) samplers are injected
+        at all.  The sampler's ``num_draws`` must match ``compiled``'s.
     """
 
     def __init__(
@@ -403,6 +560,7 @@ class CompiledCascadeEngine:
         pool=None,
         use_kernel: Optional[bool] = None,
         shared_memory: Optional[bool] = None,
+        sampler: Optional[WorldSampler] = None,
     ) -> None:
         if num_worlds <= 0:
             raise EstimationError(f"num_worlds must be > 0, got {num_worlds}")
@@ -458,12 +616,15 @@ class CompiledCascadeEngine:
             shard_size = self.num_worlds
         self.shard_size = shard_size
 
-        self.sampler = WorldSampler(compiled, seed)
-        if isinstance(seed, np.random.Generator):
-            # The monolithic engine used to consume the caller's generator
-            # directly; keep that stream contract so downstream draws from a
-            # shared generator land where they always did.
-            _consume_stream(seed, self.num_worlds * compiled.num_edges)
+        if sampler is not None:
+            self.sampler = sampler.with_compiled(compiled)
+        else:
+            self.sampler = WorldSampler(compiled, seed)
+            if isinstance(seed, np.random.Generator):
+                # The monolithic engine used to consume the caller's generator
+                # directly; keep that stream contract so downstream draws from
+                # a shared generator land where they always did.
+                _consume_stream(seed, self.num_worlds * compiled.num_edges)
 
         # Shared world-block store: blocks of this sampler's world grid are
         # published to /dev/shm once machine-wide.  The engine owns cleanup
@@ -859,6 +1020,123 @@ class CompiledCascadeEngine:
                 use_kernel=self._kernel is not None,
             )
         return self._executor
+
+    def apply_events(self, application, dirty_mask: Optional[np.ndarray] = None) -> int:
+        """Evolve the engine in place onto an event batch's new graph.
+
+        ``application`` is the :class:`~repro.graph.events.EventApplication`
+        of the batch; the engine switches to its evolved snapshot (re-shared
+        into a fresh segment when shared-memory transport is on), rekeys the
+        sampler with one stream layer for the new edges (so every surviving
+        edge keeps its per-world coin flips), and rebuilds the derived state
+        that depends on the graph: the shared block store (new fingerprint),
+        the block cache, the worker executor (workers hold old-graph
+        samplers; it is lazily rebuilt), and the cascade scratch buffers.
+
+        When ``dirty_mask`` (per-world booleans) is given and the batch kept
+        every surviving edge's hand-off rank and the node set (no reweights,
+        no retires, no node adds), the published shared-memory blocks of
+        all-clean shards are **chained**: re-published byte-identical under
+        the new fingerprint before the old grid is swept, so clean worlds
+        advance to the new graph version without being re-drawn by anyone.
+        Returns the number of chained blocks.
+        """
+        compiled = application.compiled
+        old_compiled = self.compiled
+        old_store = self.sampler.store
+        old_finalizer = self._store_finalizer
+
+        if self.shared_memory:
+            from repro.graph.shared import share_compiled
+
+            shared_graph = share_compiled(compiled)
+            if shared_graph is not None:
+                compiled = shared_graph
+            else:  # pragma: no cover - platform lost shm mid-flight
+                self.shared_memory = False
+        self.compiled = compiled
+        self.sampler = self.sampler.rekey(compiled, application.num_new_draws)
+
+        # Workers hold samplers keyed to the old graph; the executor is
+        # rebuilt (and the new sampler re-registered) on the next parallel
+        # run.
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+        if self._resident_block is not None:
+            self._resident_block.release()
+            self._resident_block = None
+        for block in self._block_cache._blocks.values():
+            block.release()
+
+        chained = 0
+        self._store_bounds = ()
+        self._store_finalizer = None
+        if self.shared_memory:
+            from repro.diffusion.world_store import (
+                SharedBlockStore,
+                sampler_fingerprint,
+            )
+
+            store = SharedBlockStore(sampler_fingerprint(self.sampler))
+            self.sampler.store = store
+            self._store_bounds = tuple(
+                (start, min(self.shard_size, self.num_worlds - start))
+                for start in range(0, self.num_worlds, self.shard_size)
+            )
+            if (
+                old_store is not None
+                and dirty_mask is not None
+                and application.rank_stable
+                and application.identity_remap
+                and compiled.num_nodes == application.old_num_nodes
+            ):
+                # Clean worlds of a rank-stable batch have bit-identical
+                # live adjacency (their added edges are dead, their dropped
+                # edges were dead), so an all-clean block's bytes are valid
+                # under the new fingerprint verbatim.
+                num_nodes = compiled.num_nodes
+                for start, count in self._store_bounds:
+                    if bool(dirty_mask[start : start + count].any()):
+                        continue
+                    block = old_store.load(start, count, num_nodes)
+                    if block is None:
+                        continue
+                    published = store.publish(start, count, block)
+                    if published is not block:
+                        published.release()
+                        chained += 1
+                    block.release()
+            self._store_finalizer = weakref.finalize(
+                self, store.sweep, self._store_bounds
+            )
+        if old_finalizer is not None:
+            # Sweep the old fingerprint's whole grid now; chained blocks
+            # already live under the new names.
+            old_finalizer()
+
+        # The old shared graph segment: close our fd now; the owner
+        # finalizer unlinks the name once the last reference dies.
+        segment = getattr(old_compiled, "segment", None)
+        if segment is not None and getattr(old_compiled, "owns_segment", False):
+            _shm.close_segment(segment)
+
+        self._block_cache = BlockCache(self.sampler, _MAX_CACHED_BLOCKS)
+        if self.shard_size >= self.num_worlds:
+            self._resident_block = self.sampler.draw_block(0, self.num_worlds)
+
+        num_nodes = compiled.num_nodes
+        if self._kernel is not None:
+            self._kernel_visited = np.zeros(num_nodes, dtype=np.int64)
+            self._kernel_stamp = 0
+            self._kernel_queue = np.empty(num_nodes, dtype=np.int32)
+            self._kernel_limited = np.empty(num_nodes, dtype=np.int32)
+            self._kernel_coupons = np.zeros(num_nodes, dtype=np.int64)
+        self._visited = [0] * num_nodes
+        self._stamp = 0
+        self._coupons = [0] * num_nodes
+        return chained
 
     def close(self) -> None:
         """Release the executor and sweep shared world-block segments.

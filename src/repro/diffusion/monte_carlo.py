@@ -51,6 +51,7 @@ import numpy as np
 from repro.diffusion.delta import DeltaCascadeEngine, DeltaOutcome
 from repro.diffusion.engine import CompiledCascadeEngine
 from repro.diffusion.estimator import BenefitEstimator, DeploymentKey
+from repro.diffusion.reconcile import ReconcileOutcome, dirty_world_mask
 from repro.diffusion.live_edge import LiveEdgeWorld, cascade_in_world, sample_worlds
 from repro.exceptions import EstimationError
 from repro.graph.social_graph import SocialGraph
@@ -535,6 +536,95 @@ class MonteCarloEstimator(BenefitEstimator):
     def coupon_dirty_worlds(self, node: NodeId) -> Tuple[int, ...]:
         """Worlds an extra coupon on ``node`` can change, per current snapshot."""
         return self._require_delta().coupon_dirty_worlds(node)
+
+    # ------------------------------------------------------------------
+    # dynamic graphs: event ingestion + snapshot reconciliation
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_reconcile_passes(self) -> int:
+        """Graph-event reconciliations absorbed without a snapshot pass."""
+        return self._delta.reconcile_passes if self._delta is not None else 0
+
+    @property
+    def delta_reconciled_worlds(self) -> int:
+        """Total dirty worlds re-simulated across all reconciliations."""
+        return self._delta.reconciled_worlds if self._delta is not None else 0
+
+    def ingest_events(self, batch) -> ReconcileOutcome:
+        """Apply a :class:`~repro.graph.events.GraphEventBatch` end to end.
+
+        Mutates the estimator's :class:`SocialGraph` (delta-recompiling its
+        CSR cache) and then reconciles this estimator onto the evolved graph
+        via :meth:`reconcile`.  Compiled backend only.
+        """
+        if self._engine is None:
+            raise EstimationError(
+                "graph-event ingestion requires the compiled backend"
+            )
+        application = self.graph.apply_events(batch)
+        return self.reconcile(application)
+
+    def reconcile(self, application) -> ReconcileOutcome:
+        """Absorb an already-applied graph-event batch without a cold resolve.
+
+        ``application`` is the :class:`~repro.graph.events.EventApplication`
+        of a batch applied to this estimator's graph.  The compiled engine is
+        evolved in place (delta CSR, rekeyed layered sampler, chained shared
+        blocks for clean shards), the memo caches are dropped (they are keyed
+        by deployment, not graph version), and a live delta snapshot is
+        advanced by re-simulating **only** the worlds whose live-edge draws
+        touch a changed edge — bit-identical to a cold instrumented pass on
+        the evolved graph.  The base deployment's benefit and probabilities
+        are re-memoised, so a subsequent :meth:`snapshot_base` on the same
+        deployment stays a no-op.
+        """
+        if self._engine is None:
+            raise EstimationError(
+                "graph-event reconciliation requires the compiled backend"
+            )
+        engine = self._engine
+        # Probe dirtiness on a preview of the evolved sampler: layer states
+        # are derived deterministically from the frozen base state, so the
+        # preview's draws are exactly the post-evolution engine's draws.
+        preview = engine.sampler.rekey(
+            application.compiled, application.num_new_draws
+        )
+        mask = dirty_world_mask(preview, application, self.num_samples)
+        chained = engine.apply_events(application, dirty_mask=mask)
+        self.clear_cache()
+
+        delta = self._delta
+        reconciled = False
+        base_benefit: Optional[float] = None
+        if delta is not None and delta.has_snapshot:
+            benefit = delta.reconcile(application, mask)
+            if benefit is None:
+                # The deployment resolves differently on the new graph (e.g.
+                # a previously-unknown seed id now exists): rebuild the
+                # snapshot from the kept identifiers — still correct, just
+                # not free; the pass shows up in delta_snapshot_passes.
+                _, benefit = delta.snapshot(
+                    list(delta._base_seeds), dict(delta._base_alloc)
+                )
+            else:
+                reconciled = True
+            base_benefit = benefit
+            if self._delta_base_key is not None:
+                self._remember(self._benefit_cache, self._delta_base_key, benefit)
+                self._remember(
+                    self._probability_cache,
+                    self._delta_base_key,
+                    self._counts_to_probabilities(delta.base_counts),
+                )
+        return ReconcileOutcome(
+            num_worlds=self.num_samples,
+            dirty_worlds=int(mask.sum()),
+            touched_edges=application.touched_edges,
+            reconciled=reconciled,
+            chained_blocks=chained,
+            base_benefit=base_benefit,
+        )
 
     def _require_delta(self) -> DeltaCascadeEngine:
         if self._delta is None:

@@ -57,9 +57,11 @@ def sampler_fingerprint(sampler: WorldSampler) -> str:
 
     Two samplers agree iff they produce bit-identical blocks for every
     ``(start, count)``: same live-edge topology (indptr/indices), same draw
-    gather (edge_pos) and probabilities, same bit generator and same frozen
-    state.  Node attributes are deliberately excluded — they do not influence
-    world drawing.
+    gather (edge_pos) and probabilities, same bit generator, same frozen
+    state and same stream layering (an evolved graph changes ``num_draws``
+    and the layer stack, and must never collide with its ancestor's blocks).
+    Node attributes are deliberately excluded — they do not influence world
+    drawing.
     """
     compiled = sampler.compiled
     digest = hashlib.sha256()
@@ -67,7 +69,12 @@ def sampler_fingerprint(sampler: WorldSampler) -> str:
         digest.update(np.ascontiguousarray(array).tobytes())
     digest.update(
         pickle.dumps(
-            (sampler.bit_generator_class.__name__, sampler.state),
+            (
+                sampler.bit_generator_class.__name__,
+                sampler.state,
+                int(compiled.num_draws),
+                sampler.layers,
+            ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
     )

@@ -68,6 +68,7 @@ class CompiledGraph:
         "benefits",
         "seed_costs",
         "sc_costs",
+        "num_draws",
         "__weakref__",
     )
 
@@ -83,6 +84,7 @@ class CompiledGraph:
         sc_costs: np.ndarray,
         *,
         node_ids_loader=None,
+        num_draws: Optional[int] = None,
     ) -> None:
         if node_ids is None and node_ids_loader is None:
             raise ValueError("either node_ids or node_ids_loader is required")
@@ -96,6 +98,12 @@ class CompiledGraph:
         self.benefits = benefits
         self.seed_costs = seed_costs
         self.sc_costs = sc_costs
+        #: Width of one world's coin-flip stream.  Equals ``num_edges`` for a
+        #: freshly compiled graph; grows past it on graphs evolved through
+        #: :meth:`apply_events`, where dropped edges leave permanent holes in
+        #: the draw-position space so that surviving edges keep their draw
+        #: positions — and therefore their coin flips — across versions.
+        self.num_draws = int(num_draws) if num_draws is not None else int(indices.shape[0])
 
     # ------------------------------------------------------------------
     # pickling
@@ -119,6 +127,7 @@ class CompiledGraph:
             "benefits": self.benefits,
             "seed_costs": self.seed_costs,
             "sc_costs": self.sc_costs,
+            "num_draws": self.num_draws,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -135,6 +144,8 @@ class CompiledGraph:
         self.benefits = state["benefits"]
         self.seed_costs = state["seed_costs"]
         self.sc_costs = state["sc_costs"]
+        # .get: pickles written before draw-position persistence existed.
+        self.num_draws = int(state.get("num_draws", self.indices.shape[0]))
 
     # ------------------------------------------------------------------
     # construction
@@ -302,6 +313,54 @@ class CompiledGraph:
             if position is not None and int(count) > 0:
                 coupons[position] = int(count)
         return coupons
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+
+    def apply_events(self, batch) -> "object":
+        """Delta-recompile this snapshot under a :class:`GraphEventBatch`.
+
+        Returns an :class:`repro.graph.events.EventApplication` carrying the
+        evolved :class:`CompiledGraph` (touched CSR rows rebuilt, untouched
+        row runs copied in bulk — whole arrays aliased for attribute-only
+        batches), the old→new node-index remap table, and the draw-position
+        records (added / dropped / reweighted) that snapshot reconciliation
+        keys on.  This object is not mutated.
+        """
+        from repro.graph.events import compute_application
+
+        return compute_application(self, batch)
+
+    def with_attributes(self, graph: SocialGraph) -> "CompiledGraph":
+        """A new snapshot aliasing this one's topology with fresh attributes.
+
+        The attribute-only recompile fast path: ``indptr``/``indices``/
+        ``probs``/``edge_pos`` (and the node-id list) are shared zero-copy
+        with ``self``; only the dense benefit/cost vectors are rebuilt from
+        ``graph``, whose node set must be unchanged.
+        """
+        node_ids = self.node_ids
+        num_nodes = len(node_ids)
+        benefits = np.empty(num_nodes, dtype=np.float64)
+        seed_costs = np.empty(num_nodes, dtype=np.float64)
+        sc_costs = np.empty(num_nodes, dtype=np.float64)
+        for node_index, node in enumerate(node_ids):
+            attrs = graph.attributes(node)
+            benefits[node_index] = attrs.benefit
+            seed_costs[node_index] = attrs.seed_cost
+            sc_costs[node_index] = attrs.sc_cost
+        return CompiledGraph(
+            node_ids=node_ids,
+            indptr=self.indptr,
+            indices=self.indices,
+            probs=self.probs,
+            edge_pos=self.edge_pos,
+            benefits=benefits,
+            seed_costs=seed_costs,
+            sc_costs=sc_costs,
+            num_draws=self.num_draws,
+        )
 
     def edges(self) -> Iterator[Tuple[NodeId, NodeId, float]]:
         """Edges as ``(source, target, probability)`` in ranked-CSR order."""

@@ -73,6 +73,7 @@ class SharedCompiledGraph(CompiledGraph):
         segment,
         descriptor: dict,
         owns_segment: bool,
+        num_draws: Optional[int] = None,
     ) -> None:
         super().__init__(
             node_ids,
@@ -84,6 +85,7 @@ class SharedCompiledGraph(CompiledGraph):
             views["seed_costs"],
             views["sc_costs"],
             node_ids_loader=node_ids_loader,
+            num_draws=num_draws,
         )
         self.segment = segment
         self.descriptor = descriptor
@@ -132,6 +134,11 @@ def share_compiled(compiled: CompiledGraph) -> Optional[SharedCompiledGraph]:
         segment, manifest = shm.pack_arrays(arrays)
     except OSError:
         return None
+    # Extra descriptor keys ride the manifest dict; attach_arrays ignores
+    # them.  num_draws must travel with the arrays — on evolved graphs it
+    # exceeds num_edges (dropped edges leave draw-position holes) and cannot
+    # be re-derived from the array shapes.
+    manifest["num_draws"] = compiled.num_draws
     _, views = shm.attach_arrays(manifest, segment=segment)
     views.pop(_NODE_IDS_FIELD)
     return SharedCompiledGraph(
@@ -141,6 +148,7 @@ def share_compiled(compiled: CompiledGraph) -> Optional[SharedCompiledGraph]:
         segment=segment,
         descriptor=manifest,
         owns_segment=True,
+        num_draws=compiled.num_draws,
     )
 
 
@@ -161,4 +169,5 @@ def attach_shared_graph(descriptor: dict) -> SharedCompiledGraph:
         segment=segment,
         descriptor=descriptor,
         owns_segment=False,
+        num_draws=descriptor.get("num_draws"),
     )

@@ -51,9 +51,15 @@ class SocialGraph:
         self._pred: Dict[NodeId, Dict[NodeId, float]] = {}
         self._ranked_cache: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
         self._num_edges = 0
-        self._version = 0
+        # Two sub-counters so derived snapshots can invalidate selectively:
+        # topology covers anything the CSR adjacency arrays depend on (node
+        # set, edges, probabilities), attributes only the benefit/cost
+        # vectors.  ``version`` (their sum) keeps the historic monotone
+        # any-mutation counter for coarse consumers.
+        self._topology_version = 0
+        self._attribute_version = 0
         self._compiled_cache = None
-        self._compiled_version = -1
+        self._compiled_versions: Tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------
     # construction
@@ -74,6 +80,7 @@ class SocialGraph:
         or as individual keyword arguments; keyword arguments override the
         corresponding fields of ``attributes``.
         """
+        is_new = node not in self._attrs
         base = attributes or self._attrs.get(node, NodeAttributes())
         if benefit is not None:
             base = base.with_benefit(benefit)
@@ -84,7 +91,11 @@ class SocialGraph:
         self._attrs[node] = base
         self._succ.setdefault(node, {})
         self._pred.setdefault(node, {})
-        self._version += 1
+        if is_new:
+            # A new node changes the compiled index space itself.
+            self._topology_version += 1
+        else:
+            self._attribute_version += 1
 
     def add_edge(self, source: NodeId, target: NodeId, probability: float) -> None:
         """Add a directed edge ``source -> target`` with influence probability.
@@ -106,7 +117,7 @@ class SocialGraph:
         self._succ[source][target] = float(probability)
         self._pred[target][source] = float(probability)
         self._ranked_cache.pop(source, None)
-        self._version += 1
+        self._topology_version += 1
 
     def remove_edge(self, source: NodeId, target: NodeId) -> None:
         """Remove the edge ``source -> target``."""
@@ -116,13 +127,29 @@ class SocialGraph:
         del self._pred[target][source]
         self._num_edges -= 1
         self._ranked_cache.pop(source, None)
-        self._version += 1
+        self._topology_version += 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every edge incident to it."""
+        self._require_node(node)
+        for target in self._succ[node]:
+            del self._pred[target][node]
+            self._num_edges -= 1
+        for source in self._pred[node]:
+            del self._succ[source][node]
+            self._num_edges -= 1
+            self._ranked_cache.pop(source, None)
+        del self._succ[node]
+        del self._pred[node]
+        del self._attrs[node]
+        self._ranked_cache.pop(node, None)
+        self._topology_version += 1
 
     def set_attributes(self, node: NodeId, attributes: NodeAttributes) -> None:
         """Replace the attributes of an existing node."""
         self._require_node(node)
         self._attrs[node] = attributes
-        self._version += 1
+        self._attribute_version += 1
 
     def update_attributes(self, mapping: Mapping[NodeId, NodeAttributes]) -> None:
         """Replace the attributes of several nodes at once."""
@@ -140,7 +167,17 @@ class SocialGraph:
         Used to invalidate derived snapshots such as the cached
         :class:`~repro.graph.csr.CompiledGraph` — see :meth:`compiled`.
         """
-        return self._version
+        return self._topology_version + self._attribute_version
+
+    @property
+    def topology_version(self) -> int:
+        """Counter of CSR-structural edits (node set, edges, probabilities)."""
+        return self._topology_version
+
+    @property
+    def attribute_version(self) -> int:
+        """Counter of attribute-only edits (benefits / costs)."""
+        return self._attribute_version
 
     def compiled(self):
         """The CSR snapshot of this graph, compiled once and cached.
@@ -148,15 +185,42 @@ class SocialGraph:
         Every estimator built on the same (unmutated) graph shares one
         :class:`~repro.graph.csr.CompiledGraph`, so ``compare``-style
         experiment runs pay the compilation cost once instead of once per
-        algorithm.  Any mutation (node/edge/attribute change) invalidates the
-        cache and the next call recompiles.
+        algorithm.  A topology edit (node/edge/probability change)
+        invalidates the cache wholesale; an attribute-only edit takes the
+        cheap path — the next call returns a fresh snapshot *aliasing* the
+        cached adjacency arrays with rebuilt benefit/cost vectors, never
+        recompiling the CSR.
         """
-        if self._compiled_cache is None or self._compiled_version != self._version:
+        cache = self._compiled_cache
+        versions = (self._topology_version, self._attribute_version)
+        if cache is not None and self._compiled_versions == versions:
+            return cache
+        if cache is not None and self._compiled_versions[0] == versions[0]:
+            self._compiled_cache = cache.with_attributes(self)
+        else:
             from repro.graph.csr import CompiledGraph
 
             self._compiled_cache = CompiledGraph.from_social_graph(self)
-            self._compiled_version = self._version
+        self._compiled_versions = versions
         return self._compiled_cache
+
+    def apply_events(self, batch):
+        """Apply a :class:`repro.graph.events.GraphEventBatch` in place.
+
+        The batch is applied to the adjacency dicts *and*, when a compiled
+        snapshot is cached, to the CSR via the delta recompiler — the evolved
+        snapshot is installed as the new cache, so the next :meth:`compiled`
+        call is free.  Returns the :class:`repro.graph.events.EventApplication`
+        describing the evolution (remap table, draw-position records).
+        """
+        from repro.graph.events import apply_event_batch
+
+        return apply_event_batch(self, batch)
+
+    def _install_compiled(self, compiled) -> None:
+        """Adopt an externally evolved snapshot as the current cache."""
+        self._compiled_cache = compiled
+        self._compiled_versions = (self._topology_version, self._attribute_version)
 
     @property
     def num_nodes(self) -> int:
@@ -340,7 +404,7 @@ class SocialGraph:
                 self._succ[source][target] = probability
                 self._pred[target][source] = probability
                 self._ranked_cache.pop(source, None)
-        self._version += 1
+        self._topology_version += 1
 
     # ------------------------------------------------------------------
     # internals

@@ -23,6 +23,7 @@ Routes
 ``POST /scenarios/{id}/solve``  enqueue an S3CA solve (202 + job id)
 ``GET  /jobs/{id}``             poll a job (status, result, timings)
 ``POST /scenarios/{id}/whatif`` answer a what-if from resident state
+``POST /scenarios/{id}/events`` apply a graph-event batch, reconcile in place
 ==============================  ======================================
 """
 
@@ -37,6 +38,7 @@ from repro.exceptions import ServerError
 from repro.experiments.config import ServerConfig
 from repro.server.errors import InvalidRequest, ServerUnavailable
 from repro.server.schemas import (
+    GraphEventsRequest,
     RegisterScenarioRequest,
     SolveRequest,
     WhatIfRequest,
@@ -87,6 +89,10 @@ class CampaignApi:
     def whatif(self, scenario_id: str, body: Optional[dict]) -> JsonResponse:
         request = self._validate(WhatIfRequest, body)
         return 200, self.service.whatif(scenario_id, request)
+
+    def apply_events(self, scenario_id: str, body: Optional[dict]) -> JsonResponse:
+        request = self._validate(GraphEventsRequest, body)
+        return 200, self.service.apply_events(scenario_id, request)
 
     @staticmethod
     def _validate(model, body: Optional[dict]):
@@ -200,6 +206,10 @@ def _fastapi_app(api: CampaignApi):
     async def whatif(scenario_id: str, body: dict):
         return _reply(api.whatif(scenario_id, body))
 
+    @app.post("/scenarios/{scenario_id}/events")
+    async def apply_events(scenario_id: str, body: dict):
+        return _reply(api.apply_events(scenario_id, body))
+
     @app.on_event("shutdown")
     async def _shutdown():
         api.service.close()
@@ -255,6 +265,10 @@ def _flask_app(api: CampaignApi):
     @app.post("/scenarios/<scenario_id>/whatif")
     def whatif(scenario_id):
         return _reply(api.whatif(scenario_id, _body()))
+
+    @app.post("/scenarios/<scenario_id>/events")
+    def apply_events(scenario_id):
+        return _reply(api.apply_events(scenario_id, _body()))
 
     return app
 

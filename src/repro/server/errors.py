@@ -19,6 +19,7 @@ __all__ = [
     "UnknownJob",
     "JobQueueFull",
     "NoCompletedSolve",
+    "SolveInFlight",
     "ServerUnavailable",
 ]
 
@@ -64,6 +65,24 @@ class NoCompletedSolve(ServerError):
         super().__init__(
             f"scenario {scenario_id!r} has no completed solve to answer "
             "what-if queries from; POST /scenarios/{id}/solve first"
+        )
+        self.scenario_id = scenario_id
+
+
+class SolveInFlight(ServerError):
+    """Graph events cannot land while a solve is queued or running.
+
+    The solve holds (or is about to take) the scenario's resident estimator;
+    mutating the graph underneath it would make the solve's answer belong to
+    neither graph version.  Retry once the job completes.
+    """
+
+    status = 409
+
+    def __init__(self, scenario_id: str) -> None:
+        super().__init__(
+            f"scenario {scenario_id!r} has a solve in flight; graph events "
+            "are accepted once it completes"
         )
         self.scenario_id = scenario_id
 

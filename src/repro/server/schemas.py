@@ -62,6 +62,86 @@ class SolveRequest(BaseModel):
     incremental: bool = True
 
 
+#: Wire names of the graph event types, matching
+#: :meth:`repro.graph.events.GraphEventBatch.from_payloads`.
+_EDGE_EVENTS = ("edge_add", "edge_drop", "edge_reweight")
+_NODE_EVENTS = ("node_add", "node_retire")
+
+
+class GraphEventModel(BaseModel):
+    """One typed graph mutation inside a :class:`GraphEventsRequest`.
+
+    The ``type`` discriminator selects which fields are required:
+
+    * ``edge_add`` / ``edge_reweight`` — ``source``, ``target`` and a
+      ``probability`` in ``[0, 1]``; self-loop adds are rejected here rather
+      than silently skipped, since a client naming one is confused;
+    * ``edge_drop`` — ``source`` and ``target``;
+    * ``node_add`` — ``node``, optionally with ``benefit`` / ``seed_cost`` /
+      ``sc_cost`` attribute overrides;
+    * ``node_retire`` — ``node``.
+
+    Node ids are strings on the wire (like everywhere in the API) and are
+    resolved back into the graph's id space by the service layer.
+    """
+
+    type: str
+    source: Optional[str] = None
+    target: Optional[str] = None
+    node: Optional[str] = None
+    probability: Optional[float] = None
+    benefit: Optional[float] = None
+    seed_cost: Optional[float] = None
+    sc_cost: Optional[float] = None
+
+    @model_validator(mode="after")
+    def _shape(self) -> "GraphEventModel":
+        if self.type in _EDGE_EVENTS:
+            if self.source is None or self.target is None:
+                raise ValueError(f"{self.type} needs 'source' and 'target'")
+            if self.node is not None:
+                raise ValueError(f"{self.type} does not take 'node'")
+            if self.type == "edge_drop":
+                if self.probability is not None:
+                    raise ValueError("edge_drop does not take 'probability'")
+            else:
+                if self.probability is None:
+                    raise ValueError(f"{self.type} needs 'probability'")
+                if not 0.0 <= self.probability <= 1.0:
+                    raise ValueError(
+                        f"probability must be in [0, 1], got {self.probability!r}"
+                    )
+            if self.type == "edge_add" and self.source == self.target:
+                raise ValueError("edge_add source and target must differ")
+        elif self.type in _NODE_EVENTS:
+            if self.node is None:
+                raise ValueError(f"{self.type} needs 'node'")
+            if self.source is not None or self.target is not None:
+                raise ValueError(f"{self.type} does not take 'source'/'target'")
+            if self.type == "node_retire" and any(
+                value is not None
+                for value in (self.benefit, self.seed_cost, self.sc_cost)
+            ):
+                raise ValueError("node_retire does not take attribute fields")
+        else:
+            raise ValueError(
+                f"unknown event type {self.type!r}; expected one of "
+                f"{', '.join(_EDGE_EVENTS + _NODE_EVENTS)}"
+            )
+        return self
+
+
+class GraphEventsRequest(BaseModel):
+    """A batch of graph mutations for ``POST /scenarios/{id}/events``.
+
+    The whole batch applies atomically: the graph evolves once, the resident
+    estimator reconciles once, and only the worlds whose live-edge draws
+    touch a changed edge are re-simulated.
+    """
+
+    events: List[GraphEventModel] = Field(min_length=1)
+
+
 class WhatIfRequest(BaseModel):
     """A what-if query against the scenario's last completed solve.
 

@@ -31,11 +31,14 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from repro.core.deployment import Deployment
 from repro.core.s3ca import S3CA, S3CAResult
 from repro.diffusion.parallel import SharedShardPool
+from repro.exceptions import ReproError
 from repro.experiments.config import ServerConfig
+from repro.graph.events import GraphEventBatch
 from repro.graph.social_graph import SocialGraph
-from repro.server.errors import InvalidRequest, NoCompletedSolve
+from repro.server.errors import InvalidRequest, NoCompletedSolve, SolveInFlight
 from repro.server.jobs import Job, JobManager
 from repro.server.schemas import (
+    GraphEventsRequest,
     RegisterScenarioRequest,
     SolveRequest,
     WhatIfRequest,
@@ -87,15 +90,34 @@ class CampaignService:
     def enqueue_solve(self, scenario_id: str, request: SolveRequest) -> Job:
         """Queue an asynchronous S3CA solve; returns the job handle."""
         entry = self.registry.get(scenario_id)
-        job = self.jobs.submit(
-            "solve", scenario_id, lambda: self._run_solve(entry, request)
-        )
+        # Count the solve as in flight from the moment it is queued: graph
+        # events arriving before the worker picks it up must 409 too, or the
+        # solve would answer for a graph the client no longer has.
+        with entry.lock:
+            entry.solves_in_flight += 1
+        try:
+            job = self.jobs.submit(
+                "solve", scenario_id, lambda: self._run_solve(entry, request)
+            )
+        except BaseException:
+            with entry.lock:
+                entry.solves_in_flight -= 1
+            raise
         return job
 
     def job_info(self, job_id: str) -> dict:
         return self.jobs.get(job_id).as_dict()
 
     def _run_solve(self, entry: ResidentScenario, request: SolveRequest) -> dict:
+        try:
+            return self._run_solve_locked(entry, request)
+        finally:
+            with entry.lock:
+                entry.solves_in_flight -= 1
+
+    def _run_solve_locked(
+        self, entry: ResidentScenario, request: SolveRequest
+    ) -> dict:
         with entry.lock:
             estimator, built = entry.ensure_estimator(self.config, self.pool)
             kernel_compile_seconds = estimator.kernel_compile_seconds if built else 0.0
@@ -281,6 +303,138 @@ class CampaignService:
             "budget": float(budget),
             "feasible": deployment.fits_budget(budget),
         }
+
+    # ------------------------------------------------------------------
+    # graph events
+    # ------------------------------------------------------------------
+
+    def apply_events(self, scenario_id: str, request: GraphEventsRequest) -> dict:
+        """Apply a graph-event batch and reconcile resident state in place.
+
+        The scenario's graph evolves (delta CSR recompile — untouched rows
+        stay aliased), the resident estimator rekeys its sampler and
+        re-simulates **only** the worlds whose live-edge draws touch a
+        changed edge, and the last solve's expected benefit is re-stated on
+        the evolved graph — all without a cold rebuild, which is what the
+        unchanged ``graph_compiles`` / ``estimator_builds`` counters in the
+        response prove.  Refused with 409 while a solve is queued or running.
+        """
+        entry = self.registry.get(scenario_id)
+        with entry.lock:
+            if entry.solves_in_flight > 0:
+                raise SolveInFlight(scenario_id)
+            began = time.perf_counter()
+            graph = entry.scenario.graph
+            batch = self._event_batch(graph, request)
+            estimator = entry.estimator
+            outcome = None
+            if estimator is not None:
+                outcome = estimator.ingest_events(batch)
+            else:
+                # Nothing resident yet: evolve the graph alone; the first
+                # solve compiles the evolved graph as usual.
+                graph.apply_events(batch)
+            entry.events_applied += 1
+
+            base = entry.last_solve
+            solve_benefit = None
+            if base is not None and estimator is not None:
+                # Re-state the solved deployment on the evolved graph.  When
+                # the reconciled snapshot base is that deployment this is a
+                # memo-cache hit; otherwise it is one pass over the resident
+                # worlds — warm either way, never a cold resolve.
+                solve_benefit = float(
+                    estimator.expected_benefit(
+                        set(base.deployment.seeds),
+                        dict(base.deployment.allocation.as_dict()),
+                    )
+                )
+                base.expected_benefit = solve_benefit
+                if base.total_cost > 0:
+                    base.redemption_rate = solve_benefit / base.total_cost
+
+            payload = {
+                "scenario_id": entry.scenario_id,
+                "events": len(batch.events),
+                "events_applied": entry.events_applied,
+                "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+                "solve_benefit": solve_benefit,
+                "seconds": time.perf_counter() - began,
+            }
+            if outcome is not None:
+                payload["reconcile"] = {
+                    "num_worlds": outcome.num_worlds,
+                    "dirty_worlds": outcome.dirty_worlds,
+                    "touched_edges": outcome.touched_edges,
+                    "reconciled": outcome.reconciled,
+                    "chained_blocks": outcome.chained_blocks,
+                    "base_benefit": outcome.base_benefit,
+                    "reconcile_passes": estimator.delta_reconcile_passes,
+                    "reconciled_worlds": estimator.delta_reconciled_worlds,
+                    "snapshot_passes": estimator.delta_snapshot_passes,
+                }
+            payload["resident"] = {
+                "estimator_reused": estimator is not None,
+                "graph_compiles": entry.graph_compiles,
+                "estimator_builds": entry.estimator_builds,
+                "kernel_warmups": entry.kernel_warmups,
+            }
+            return payload
+
+    @staticmethod
+    def _event_batch(
+        graph: SocialGraph, request: GraphEventsRequest
+    ) -> GraphEventBatch:
+        """Resolve wire node ids and build the typed event batch.
+
+        ``edge_add`` endpoints and ``node_add`` subjects may name nodes that
+        do not exist yet (they come into being with the batch, keeping their
+        wire spelling as id); every other reference must resolve to a known
+        node — 422 otherwise, matching the what-if endpoint's taxonomy.
+        """
+        fresh: Dict[str, str] = {}
+
+        def existing(raw: str) -> NodeId:
+            if raw in fresh:
+                return fresh[raw]
+            return _resolve_node(graph, raw)
+
+        def or_new(raw: str) -> NodeId:
+            if raw in fresh:
+                return fresh[raw]
+            try:
+                return _resolve_node(graph, raw)
+            except InvalidRequest:
+                fresh[raw] = raw
+                return raw
+
+        payloads: List[dict] = []
+        for event in request.events:
+            payload: dict = {"type": event.type}
+            if event.type == "edge_add":
+                payload["source"] = or_new(event.source)
+                payload["target"] = or_new(event.target)
+                payload["probability"] = event.probability
+            elif event.type == "edge_drop":
+                payload["source"] = existing(event.source)
+                payload["target"] = existing(event.target)
+            elif event.type == "edge_reweight":
+                payload["source"] = existing(event.source)
+                payload["target"] = existing(event.target)
+                payload["probability"] = event.probability
+            elif event.type == "node_add":
+                payload["node"] = or_new(event.node)
+                for name in ("benefit", "seed_cost", "sc_cost"):
+                    value = getattr(event, name)
+                    if value is not None:
+                        payload[name] = value
+            else:  # node_retire
+                payload["node"] = existing(event.node)
+            payloads.append(payload)
+        try:
+            return GraphEventBatch.from_payloads(payloads)
+        except ReproError as error:
+            raise InvalidRequest(str(error)) from error
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -62,6 +62,10 @@ class ResidentScenario:
     #: Request counters.
     solves_completed: int = 0
     whatifs_answered: int = 0
+    #: Graph-event bookkeeping: batches applied, and solves currently queued
+    #: or running (events are refused with 409 while this is non-zero).
+    events_applied: int = 0
+    solves_in_flight: int = 0
     #: The last completed solve (the base every what-if answers from).
     last_solve: Optional[object] = None
     last_solve_job: Optional[str] = None
@@ -132,6 +136,8 @@ class ResidentScenario:
                 ),
                 "solves_completed": self.solves_completed,
                 "whatifs_answered": self.whatifs_answered,
+                "events_applied": self.events_applied,
+                "solves_in_flight": self.solves_in_flight,
                 "has_solve": self.last_solve is not None,
             },
         }

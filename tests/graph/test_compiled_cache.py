@@ -45,3 +45,40 @@ def test_copy_does_not_share_cache(toy):
     original = graph.compiled()
     clone = graph.copy()
     assert clone.compiled() is not original
+
+
+def test_attribute_edits_do_not_recompile_topology(toy):
+    """Regression: attribute-only edits used to discard the whole CSR.
+
+    The single version counter made ``add_node(existing, benefit=...)``
+    invalidate the cached snapshot wholesale, re-running the full CSR build
+    for a change that cannot touch the adjacency arrays.  With the counter
+    split into topology/attribute sub-versions, the attribute path rebuilds
+    only the benefit/cost vectors and *aliases* the adjacency arrays of the
+    cached snapshot.
+    """
+    graph = toy.graph
+    before = graph.compiled()
+    topology_before = graph.topology_version
+
+    node = next(iter(graph.nodes()))
+    graph.add_node(node, benefit=77.0)
+    assert graph.topology_version == topology_before
+    assert graph.attribute_version > 0
+
+    after = graph.compiled()
+    assert after is not before  # new snapshot object (benefits differ)...
+    assert after.indptr is before.indptr  # ...sharing the topology arrays
+    assert after.indices is before.indices
+    assert after.probs is before.probs
+    assert after.edge_pos is before.edge_pos
+    assert after.node_ids == before.node_ids
+    assert after.benefits[after.index_of(node)] == 77.0
+    assert graph.compiled() is after  # and cached again
+
+    # A topology edit still invalidates wholesale.
+    nodes = list(graph.nodes())
+    graph.add_edge(nodes[0], nodes[-1], 0.125)
+    assert graph.topology_version == topology_before + 1
+    rebuilt = graph.compiled()
+    assert rebuilt.indptr is not after.indptr
