@@ -117,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
                  "results are bit-identical either way (default: shared "
                  "memory whenever --workers evaluates out-of-process)",
         )
+        sub.add_argument(
+            "--tier-epsilon", type=float, default=None,
+            help="two-tier screening band (--estimator tiered): evaluation "
+                 "batches are scored with the RR sketch and only slots within "
+                 "this relative band below the k-th best score are "
+                 "MC-confirmed (0 = top-k ties only, larger = more "
+                 "conservative; default 0.5)",
+        )
+        sub.add_argument(
+            "--tier-topk", type=_positive_int, default=None,
+            help="minimum number of top-scoring slots per batch the two-tier "
+                 "screening always MC-confirms (--estimator tiered; "
+                 "default 48)",
+        )
+        sub.add_argument(
+            "--no-tiering", action="store_true",
+            help="keep the tiered wrapper but dispatch every batch to the MC "
+                 "tier (cross-check mode for --estimator tiered; screening "
+                 "counters still report)",
+        )
 
     def add_graph_source(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -241,6 +261,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         pipeline_depth=getattr(args, "pipeline_depth", None),
         use_kernel=False if getattr(args, "no_kernel", False) else None,
         shared_memory=False if getattr(args, "no_shared_memory", False) else None,
+        tier_epsilon=getattr(args, "tier_epsilon", None),
+        tier_top_k=getattr(args, "tier_topk", None),
+        tiering=not getattr(args, "no_tiering", False),
     )
 
 
@@ -302,6 +325,9 @@ def cmd_solve(args: argparse.Namespace) -> str:
         pipeline_depth=config.pipeline_depth,
         use_kernel=config.use_kernel,
         shared_memory=config.shared_memory,
+        tier_epsilon=config.tier_epsilon,
+        tier_top_k=config.tier_top_k,
+        tiering=config.tiering,
     )
     try:
         result = algorithm.solve()
@@ -311,18 +337,21 @@ def cmd_solve(args: argparse.Namespace) -> str:
         close = getattr(algorithm.estimator, "close", None)
         if close is not None:
             close()
-    rows = [
-        {
-            "seeds": len(result.seeds),
-            "coupons": sum(result.allocation.values()),
-            "expected_benefit": result.expected_benefit,
-            "total_cost": result.total_cost,
-            "redemption_rate": result.redemption_rate,
-            "explored_nodes": result.explored_nodes,
-            "seconds": result.total_seconds,
-        }
-    ]
-    return format_table(rows, title=f"S3CA on {scenario.describe()}")
+    row = {
+        "seeds": len(result.seeds),
+        "coupons": sum(result.allocation.values()),
+        "expected_benefit": result.expected_benefit,
+        "total_cost": result.total_cost,
+        "redemption_rate": result.redemption_rate,
+        "explored_nodes": result.explored_nodes,
+        "seconds": result.total_seconds,
+    }
+    if result.tier_stats:
+        row["screened"] = result.tier_stats["screened_candidates"]
+        row["confirmed"] = result.tier_stats["confirmed_candidates"]
+        row["spec_evals"] = result.tier_stats["speculative_evals"]
+        row["spec_hits"] = result.tier_stats["speculative_hits"]
+    return format_table([row], title=f"S3CA on {scenario.describe()}")
 
 
 def cmd_compare(args: argparse.Namespace) -> str:

@@ -40,7 +40,13 @@ the delta-evaluation engine:
   re-simulated at all — their priority is re-derived from the stored count
   delta (bit-identical to a fresh evaluation);
 * stale candidates are marked with an infinite priority so they are
-  re-evaluated exactly when they surface at the top of the heap.
+  re-evaluated exactly when they surface at the top of the heap;
+* when the estimator carries an RR sketch (the two-tier estimator), the first
+  stale-top evaluation of a selection also speculatively freshens the few
+  stale candidates the sketch ranks highest — the likely next heap tops —
+  front-loading evaluations the loop was about to demand without ever
+  changing which candidate wins (speculative evals/hits are counted on the
+  estimator).
 
 A previous evaluation of candidate ``u`` is invalidated only when the
 accepted investment could have changed it: the accepted node *is* ``u``; a
@@ -83,6 +89,10 @@ from repro.utils.indexed_heap import IndexedMaxHeap
 NodeId = Hashable
 
 _STALE = float("inf")
+
+#: Stale candidates speculatively freshened per lazy selection when the
+#: estimator carries an RR sketch (see ``_speculate``).
+_SPECULATION_DEPTH = 3
 
 
 @dataclass
@@ -217,23 +227,29 @@ class InvestmentDeployment:
         queue: IndexedMaxHeap = IndexedMaxHeap()
         self._pivot_configs: Dict[NodeId, PivotCandidate] = {}
 
-        candidates = list(self.graph.nodes())
-        scored: List[Tuple[float, NodeId]] = []
-        for node in candidates:
+        eligible: List[Tuple[NodeId, float]] = []
+        for node in self.graph.nodes():
             seed_cost = self.graph.seed_cost(node)
             if seed_cost <= 0 or seed_cost > budget:
                 continue
-            # Cheap pre-score, used only to bound how many users get the
-            # expensive Monte-Carlo treatment: either the node's stand-alone
-            # benefit per seed cost, or — with a prescreener — an upper bound
-            # on its full singleton spread (the RR-set estimate prices the
-            # unlimited-coupon relaxation, which dominates the SC-constrained
-            # benefit).
-            if self.pivot_prescreener is not None:
-                bound = self.pivot_prescreener.expected_benefit([node], {})
-            else:
-                bound = self.graph.benefit(node)
-            scored.append((bound / seed_cost, node))
+            eligible.append((node, seed_cost))
+        # Cheap pre-score, used only to bound how many users get the
+        # expensive Monte-Carlo treatment: either the node's stand-alone
+        # benefit per seed cost, or — with a prescreener — an upper bound
+        # on its full singleton spread (the RR-set estimate prices the
+        # unlimited-coupon relaxation, which dominates the SC-constrained
+        # benefit).  The prescreener prices the whole eligible set as one
+        # batch through its scheduler rather than one call per node.
+        if self.pivot_prescreener is not None:
+            bounds = self.pivot_prescreener.expected_benefits(
+                [([node], {}) for node, _ in eligible]
+            )
+        else:
+            bounds = [self.graph.benefit(node) for node, _ in eligible]
+        scored: List[Tuple[float, NodeId]] = [
+            (bound / seed_cost, node)
+            for (node, seed_cost), bound in zip(eligible, bounds)
+        ]
         scored.sort(key=lambda item: (-item[0], str(item[1])))
         if self.max_pivot_candidates is not None:
             scored = scored[: self.max_pivot_candidates]
@@ -312,12 +328,23 @@ class InvestmentDeployment:
         iterations = 0
 
         pivot = self._next_pivot(queue)
+        best_eval: Optional[MarginalEvaluation] = None
+        need_rescore = True
 
         while True:
             if current.total_cost() >= budget:
                 break
-            base_benefit = self.marginal.set_base(current)
-            best_eval = self._best_coupon_investment(current, base_benefit, budget)
+            if need_rescore:
+                # The coupon candidates only need re-scoring after an accepted
+                # investment: discarding a non-fitting pivot leaves the
+                # deployment untouched, so the previous best evaluation is
+                # still exact and is reused as is (bit-identical, just
+                # without re-deriving every candidate's ratio again).
+                base_benefit = self.marginal.set_base(current)
+                best_eval = self._best_coupon_investment(
+                    current, base_benefit, budget
+                )
+                need_rescore = False
             pivot_rate = pivot.redemption_rate if pivot is not None else float("-inf")
 
             if best_eval is None and pivot is None:
@@ -339,6 +366,7 @@ class InvestmentDeployment:
                     snapshots.append(current.copy())
                     iterations += 1
                     pivot = self._next_pivot(queue)
+                    need_rescore = True
                     self._lazy.note_seed_accept()
                     # Splice the accepted pivot into the delta snapshot (only
                     # the worlds the new seed can change are re-simulated), so
@@ -358,6 +386,7 @@ class InvestmentDeployment:
             current = best_eval.resulting
             snapshots.append(current.copy())
             iterations += 1
+            need_rescore = True
             self._lazy.note_coupon_accept(best_eval)
             # Splice the accepted move's re-simulated worlds into the delta
             # snapshot now, so the next iteration's set_base is a no-op
@@ -506,11 +535,30 @@ class InvestmentDeployment:
             lazy.fresh[node] = iteration
             lazy.refreshed[node] = benefit_new
 
+        sketch = getattr(self.estimator, "sketch", None)
+        speculated: Set[NodeId] = set()
+        speculation_spent = sketch is None
+
         while heap:
             node, _ = heap.peek()
             if lazy.fresh.get(node) != iteration:
                 self._lazy_evaluate(deployment, node, base_benefit)
+                if not speculation_spent:
+                    # The heap top was stale, so this selection is paying for
+                    # fresh delta evaluations anyway: speculatively freshen
+                    # the stale candidates the sketch ranks highest — the
+                    # likely next tops — in the same pass.  Replacing their
+                    # stale sentinel with an exact ratio never changes which
+                    # candidate ultimately wins (CELF exactness), it only
+                    # front-loads evaluations the loop was about to demand.
+                    speculation_spent = True
+                    self._speculate(deployment, base_benefit, sketch, speculated)
                 continue
+            if node in speculated:
+                speculated.discard(node)
+                note_hit = getattr(self.estimator, "note_speculative_hit", None)
+                if note_hit is not None:
+                    note_hit()
             top_ratio = heap.priority(node)
             ties = [n for n in heap if heap.priority(n) == top_ratio]
             # A genuinely infinite fresh ratio can collide with the stale
@@ -550,6 +598,36 @@ class InvestmentDeployment:
                 return chosen
             # every tied candidate was retired; reconsider the rest
         return None
+
+    def _speculate(
+        self,
+        deployment: Deployment,
+        base_benefit: float,
+        sketch,
+        speculated: Set[NodeId],
+    ) -> None:
+        """Freshen the stale candidates the sketch scores highest.
+
+        The RR singleton bound orders stale heap entries by how much plain-IC
+        influence their holder commands — a cheap proxy for which of them will
+        surface at the top of the CELF heap next.  Each one evaluated here is
+        one blocking evaluation the selection loop no longer has to pay when
+        (if) it reaches that candidate; hits are counted when it does.
+        """
+        lazy = self._lazy
+        iteration = lazy.iteration
+        stale = [
+            node for node in lazy.heap if lazy.fresh.get(node) != iteration
+        ]
+        if not stale:
+            return
+        stale.sort(key=lambda node: (-sketch.singleton_bound(node), str(node)))
+        note_eval = getattr(self.estimator, "note_speculative_eval", None)
+        for node in stale[:_SPECULATION_DEPTH]:
+            if note_eval is not None:
+                note_eval()
+            if self._lazy_evaluate(deployment, node, base_benefit):
+                speculated.add(node)
 
     def _lazy_evaluate(
         self, deployment: Deployment, node: NodeId, base_benefit: float

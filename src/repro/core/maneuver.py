@@ -30,6 +30,18 @@ time: each donor-ranking round prices every candidate retrieval through one
 :class:`~repro.diffusion.estimator.EvaluationPlan`, so on a parallel
 estimator the DIMD procedure pipelines through the shared shard pool with
 bit-identical rankings.
+
+Two layers of incremental reuse keep repeated rounds cheap:
+
+* a donor's deterioration index depends only on the deployment it is priced
+  against — not on which path is being realised — so priced DIs live in a
+  per-deployment table reused across donor-ranking rounds and paths; a round
+  only evaluates donors whose DI the table does not hold yet (the
+  "incremental donor heap": every evaluation it submits, the rebuild-per-round
+  loop would have submitted too, so the rankings are bit-identical);
+* the base deployment's activation probabilities are fetched once per
+  distinct deployment through a ``want_probabilities`` plan slot and shared
+  by the path ranking and the per-path eligibility test.
 """
 
 from __future__ import annotations
@@ -39,7 +51,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.deployment import Deployment
 from repro.core.guaranteed_paths import GPIResult, GuaranteedPath
-from repro.diffusion.estimator import BenefitEstimator
+from repro.diffusion.estimator import BenefitEstimator, DeploymentKey
 
 NodeId = Hashable
 
@@ -96,6 +108,12 @@ class SCManeuver:
         self.estimator = estimator
         self.budget_limit = budget_limit
         self.max_donor_retrievals = max_donor_retrievals
+        # deployment key -> (base benefit, donor -> priced deterioration
+        # index); DIs are path-independent, so the table persists across
+        # donor-ranking rounds and across paths.
+        self._donor_tables: Dict[DeploymentKey, Tuple[float, Dict[NodeId, float]]] = {}
+        self._likely_key: Optional[DeploymentKey] = None
+        self._likely_active: Optional[set] = None
 
     # ------------------------------------------------------------------
 
@@ -123,13 +141,37 @@ class SCManeuver:
     # path ranking and eligibility
     # ------------------------------------------------------------------
 
+    def _likely_activated(self, deployment: Deployment) -> set:
+        """Users the deployment likely activates, cached per deployment.
+
+        The probabilities ride a ``want_probabilities`` plan slot, so on a
+        pipelined estimator they come out of the same warmed pass as the
+        benefit — and the set is shared by the path ranking and every
+        per-path eligibility test against the same deployment.
+        """
+        key = BenefitEstimator._key(
+            deployment.seeds, deployment.allocation.as_dict()
+        )
+        if key != self._likely_key or self._likely_active is None:
+            plan = self.estimator.plan()
+            slot = plan.add(
+                deployment.seeds,
+                deployment.allocation.as_dict(),
+                want_probabilities=True,
+            )
+            plan.execute()
+            probabilities = plan.probabilities(slot)
+            self._likely_active = {
+                node for node, prob in probabilities.items() if prob > 0.0
+            }
+            self._likely_key = key
+        return self._likely_active
+
     def _rank_paths(
         self, deployment: Deployment, paths: GPIResult
     ) -> List[Tuple[float, GuaranteedPath]]:
         """Paths sorted by descending amelioration index."""
-        likely_active = self.estimator.likely_activated(
-            deployment.seeds, deployment.allocation.as_dict()
-        )
+        likely_active = self._likely_activated(deployment)
         ranked: List[Tuple[float, GuaranteedPath]] = []
         for path in paths:
             ancestor = self._nearest_activated_ancestor_path(path, paths, likely_active)
@@ -172,9 +214,7 @@ class SCManeuver:
             return False
         if path.parent is not None and deployment.allocation.get(path.parent) > 0:
             return False
-        likely_active = self.estimator.likely_activated(
-            deployment.seeds, deployment.allocation.as_dict()
-        )
+        likely_active = self._likely_activated(deployment)
         if path.terminal in likely_active:
             return False
         return True
@@ -267,33 +307,55 @@ class SCManeuver:
         parallel estimator) instead of one blocking evaluation per donor —
         the DIs, and therefore the executed maneuvers, are bit-identical to
         the per-donor loop.
+
+        A DI does not depend on the path (only the spare filter does), so
+        priced DIs persist in a per-deployment table: repeated rounds against
+        the same deployment — across transfer attempts and across paths —
+        only evaluate donors missing from the table.
         """
+        key = BenefitEstimator._key(
+            deployment.seeds, deployment.allocation.as_dict()
+        )
+        cached = self._donor_tables.get(key)
+        table: Dict[NodeId, float] = cached[1] if cached is not None else {}
         base_cost = deployment.sc_cost()
         plan = self.estimator.plan()
-        # The base deployment rides in the same plan as the donors, so a
-        # cold-cache round pipelines it with the candidate evaluations
-        # instead of paying a blocking full pass first.
-        base_slot = plan.add(deployment.seeds, deployment.allocation.as_dict())
-        entries: List[Tuple[NodeId, int, Deployment, int]] = []
+        base_slot: Optional[int] = None
+        if cached is None:
+            # The base deployment rides in the same plan as the donors, so a
+            # cold-cache round pipelines it with the candidate evaluations
+            # instead of paying a blocking full pass first.
+            base_slot = plan.add(deployment.seeds, deployment.allocation.as_dict())
+        candidates: List[Tuple[NodeId, int]] = []
+        entries: List[Tuple[NodeId, Deployment, int]] = []
         for node, held in deployment.allocation.items():
             required_by_path = path.allocation.get(node, 0)
             spare = held - required_by_path
             if spare <= 0:
                 continue
+            candidates.append((node, spare))
+            if node in table:
+                continue
             reduced = deployment.with_coupons_retrieved(node, 1)
             slot = plan.add(reduced.seeds, reduced.allocation.as_dict())
-            entries.append((node, spare, reduced, slot))
-        plan.execute()
-        base_benefit = plan.benefit(base_slot)
-        donors: List[Tuple[float, NodeId, int]] = []
-        for node, spare, reduced, slot in entries:
+            entries.append((node, reduced, slot))
+        if len(plan) > 0:
+            plan.execute()
+        base_benefit = (
+            plan.benefit(base_slot) if base_slot is not None else cached[0]
+        )
+        for node, reduced, slot in entries:
             benefit_loss = base_benefit - plan.benefit(slot)
             cost_saved = base_cost - reduced.sc_cost()
             if cost_saved <= 0:
                 deterioration = float("inf") if benefit_loss > 0 else 0.0
             else:
                 deterioration = max(0.0, benefit_loss) / cost_saved
-            donors.append((deterioration, node, spare))
+            table[node] = deterioration
+        self._donor_tables[key] = (base_benefit, table)
+        donors: List[Tuple[float, NodeId, int]] = [
+            (table[node], node, spare) for node, spare in candidates
+        ]
         donors.sort(key=lambda item: (item[0], str(item[1])))
         return donors
 
